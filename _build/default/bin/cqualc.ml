@@ -1,0 +1,172 @@
+(* cqualc: const inference for C programs (the tool of Section 4).
+
+   Usage:
+     cqualc file.c             monomorphic and polymorphic inference
+     cqualc --mode mono file.c only one mode
+     cqualc --positions file.c per-position verdicts
+     cqualc --bench NAME       run on an embedded/synthetic benchmark
+
+   Exit status 1 on type errors (incorrect const usage), 0 otherwise. *)
+
+open Cqual
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let pp_mode ppf = function
+  | Analysis.Mono -> Fmt.string ppf "monomorphic"
+  | Analysis.Poly -> Fmt.string ppf "polymorphic"
+  | Analysis.Polyrec -> Fmt.string ppf "polymorphic-recursive"
+
+let run_one ~rules ~positions mode name src =
+  let r = Driver.run_source ~mode ~rules src in
+  let res = r.Driver.results in
+  Fmt.pr "=== %s (%a) ===@." name pp_mode mode;
+  Fmt.pr "lines: %d, functions: %d, qualifier variables: %d@." r.Driver.lines
+    r.Driver.n_functions r.Driver.n_constraints;
+  Fmt.pr
+    "interesting const positions: %d total; %d declared, %d possible (%d \
+     must-const, %d could-be-either), %d must-not@."
+    res.Report.total res.Report.declared res.Report.possible res.Report.must
+    (res.Report.possible - res.Report.must)
+    (res.Report.total - res.Report.possible);
+  if res.Report.type_errors > 0 then
+    Fmt.pr "TYPE ERRORS: %d (const usage is inconsistent)@."
+      res.Report.type_errors;
+  List.iter (fun w -> Fmt.pr "warning: %s@." w) res.Report.warnings;
+  if positions then
+    List.iter (fun pv -> Fmt.pr "  %a@." Report.pp_position pv)
+      res.Report.positions;
+  res.Report.type_errors
+
+let run_flow name src insensitive =
+  match
+    Flow.analyze_source
+      ~mode:(if insensitive then Flow.Insensitive else Flow.Sensitive)
+      src
+  with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      2
+  | Ok r ->
+      Fmt.pr "=== %s (flow-%s taint) ===@." name
+        (if insensitive then "insensitive" else "sensitive");
+      List.iter
+        (fun fr ->
+          if fr.Flow.fr_fell_back then
+            Fmt.pr "note: %s uses goto; analyzed flow-insensitively@."
+              fr.Flow.fr_name)
+        r.Flow.functions;
+      if r.Flow.errors = [] then begin
+        Fmt.pr "no taint violations@.";
+        0
+      end
+      else begin
+        List.iter (fun e -> Fmt.pr "VIOLATION: %s@." e) r.Flow.errors;
+        1
+      end
+
+let main file bench mode positions taint flow insensitive =
+  let name, src =
+    match (file, bench) with
+    | Some f, _ -> (f, read_file f)
+    | None, Some b -> (
+        match List.assoc_opt b Cbench.Programs.all with
+        | Some src -> (b, src)
+        | None -> (
+            match
+              List.find_opt
+                (fun (x : Cbench.Suite.bench) -> x.b_name = b)
+                Cbench.Suite.table1
+            with
+            | Some bb -> (b, Cbench.Suite.source_of bb)
+            | None ->
+                Fmt.epr
+                  "unknown benchmark %s; embedded: %a; synthetic: %a@." b
+                  Fmt.(list ~sep:comma string)
+                  (List.map fst Cbench.Programs.all)
+                  Fmt.(list ~sep:comma string)
+                  (List.map
+                     (fun (x : Cbench.Suite.bench) -> x.b_name)
+                     Cbench.Suite.table1);
+                exit 2))
+    | None, None ->
+        Fmt.epr "need a FILE or --bench NAME@.";
+        exit 2
+  in
+  if flow then run_flow name src insensitive
+  else
+    let rules = if taint then Analysis.taint_rules else Analysis.const_rules in
+    match
+      let errs =
+        match mode with
+        | Some m -> run_one ~rules ~positions m name src
+        | None ->
+            let e1 = run_one ~rules ~positions Analysis.Mono name src in
+            let e2 = run_one ~rules ~positions Analysis.Poly name src in
+            e1 + e2
+      in
+      errs
+    with
+    | 0 -> 0
+    | _ -> 1
+    | exception Driver.Error m ->
+        Fmt.epr "error: %s@." m;
+        2
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+let bench =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Analyze an embedded or synthetic benchmark")
+
+let mode =
+  let mode_conv =
+    Arg.enum
+      [
+        ("mono", Analysis.Mono);
+        ("poly", Analysis.Poly);
+        ("polyrec", Analysis.Polyrec);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Run only one inference mode (mono|poly|polyrec)")
+
+let positions =
+  Arg.(value & flag & info [ "positions" ] ~doc:"Print every interesting position's verdict")
+
+let taint =
+  Arg.(
+    value & flag
+    & info [ "taint" ]
+        ~doc:"Run the taint rules instead of const ($tainted/$untainted prototypes)")
+
+let flow =
+  Arg.(
+    value & flag
+    & info [ "flow" ]
+        ~doc:"Run the flow-sensitive scalar taint analysis (Section 6 extension)")
+
+let insensitive =
+  Arg.(
+    value & flag
+    & info [ "insensitive" ]
+        ~doc:"With --flow: use the flow-insensitive baseline")
+
+let cmd =
+  let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
+  Cmd.v
+    (Cmd.info "cqualc" ~doc)
+    Term.(const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/binding_time.ml: Fmt Infer Parse Qlambda Qtype Rules Typequal

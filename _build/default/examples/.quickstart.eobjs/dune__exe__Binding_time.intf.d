@@ -1,0 +1,1 @@
+examples/binding_time.mli:

@@ -1,0 +1,1 @@
+examples/const_c.ml: Analysis Cbench Cqual Driver Fmt List Report

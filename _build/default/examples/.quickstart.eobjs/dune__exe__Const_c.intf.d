@@ -1,0 +1,1 @@
+examples/const_c.mli:

@@ -1,0 +1,1 @@
+examples/flow_sensitive.ml: Cqual Flow Fmt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Fmt Infer Parse Qlambda Qtype Rules Typequal

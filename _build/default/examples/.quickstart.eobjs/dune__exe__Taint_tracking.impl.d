@@ -1,0 +1,1 @@
+examples/taint_tracking.ml: Fmt Infer Parse Qlambda Rules Typequal

@@ -1,0 +1,1 @@
+examples/taint_tracking.mli:

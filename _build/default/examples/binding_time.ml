@@ -1,0 +1,57 @@
+(* Binding-time analysis as type qualifiers (Sections 1 and 2 of the
+   paper): [static] values are known at specialization time, [dynamic]
+   values only at run time. dynamic is positive (static tau <= dynamic tau,
+   with static = absence of dynamic), and the qualifier comes with a
+   well-formedness condition: nothing dynamic may appear inside a static
+   value — e.g. static (dynamic a -> dynamic b) is ill-formed.
+
+   Run with: dune exec examples/binding_time.exe *)
+
+open Qlambda
+module Space = Typequal.Lattice.Space
+module Elt = Typequal.Lattice.Elt
+module Solver = Typequal.Solver
+
+let space = Rules.binding_time_space
+let hooks = Rules.binding_time_hooks
+
+let show src =
+  Fmt.pr "@.program: %s@." src;
+  match Infer.check ~hooks space (Parse.parse src) with
+  | Ok r ->
+      Fmt.pr "  : %a@." (Qtype.pp_solved r.Infer.store) r.Infer.qtyp
+  | Error (m :: _) -> Fmt.pr "  ill-formed: %s@." m
+  | Error [] -> ()
+
+let () =
+  Fmt.pr "== binding-time qualifiers ==@.";
+  Fmt.pr
+    "static = absence of the positive qualifier 'dynamic'; values move@.\
+     monotonically from static to dynamic, never back.@.";
+
+  (* an input read at run time is dynamic *)
+  show "let input = @[dynamic] 3 in input + 1";
+
+  (* a compile-time constant stays static (no dynamic in its type) *)
+  show "let k = 6 in k * 7";
+
+  (* mixing: static promotes to dynamic where needed (subsumption) *)
+  show "let input = @[dynamic] 3 in let k = 39 in input + k";
+
+  (* the binding-time assertion: a specializer can check that a value it
+     wants to precompute is NOT dynamic *)
+  show "let k = 6 in (k * 7) |[~dynamic]";
+  show "let input = @[dynamic] 3 in (input + 1) |[~dynamic]";
+
+  (* well-formedness: a static closure capturing nothing dynamic is fine;
+     annotating a function that takes dynamic data as itself static is
+     rejected by the 'nothing dynamic inside static' rule *)
+  show "let f = fun x -> x + 1 in (f |[~dynamic]) 2";
+  show
+    "let f = fun x -> x + 1 in\n\
+     let g = (f |[~dynamic]) in\n\
+     g (@[dynamic] 3)";
+  Fmt.pr
+    "@.(the last program is rejected: f's argument is dynamic, so f cannot \
+     be asserted fully static — the masked flow dynamic(child) <= \
+     dynamic(parent) added by the well-formedness hook forbids it)@."

@@ -1,0 +1,77 @@
+(* Taint tracking as type qualifiers (the information-flow lineage the
+   paper's Section 5 cites: Volpano-Smith security types, the lclint
+   annotations, and what later became CQual's format-string-bug detector).
+
+   [tainted] is positive: untainted tau <= tainted tau — untrusted data
+   can flow anywhere tainted data is expected, but a value that may be
+   tainted must never reach a trusted sink. Sources annotate their results
+   [@[tainted]]; sinks assert [|[~tainted]].
+
+   Run with: dune exec examples/taint_tracking.exe *)
+
+open Qlambda
+module Space = Typequal.Lattice.Space
+
+let space = Rules.taint_space
+let hooks = Rules.taint_hooks
+
+let show src =
+  Fmt.pr "@.%s@." src;
+  match Infer.check ~hooks ~poly:true space (Parse.parse src) with
+  | Ok _ -> Fmt.pr "  => SAFE (typechecks)@."
+  | Error (m :: _) -> Fmt.pr "  => FLAGGED: %s@." m
+  | Error [] -> ()
+
+let () =
+  Fmt.pr "== taint tracking with type qualifiers ==@.";
+  Fmt.pr "sources are annotated @[[tainted]]; sinks assert |[[~tainted]]@.";
+
+  (* direct flow from source to sink is caught *)
+  show
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     exec (read_net ())";
+
+  (* a sanitizer that returns a genuinely fresh value launders the taint *)
+  show
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let sanitize = fun x -> if x == 0 then 0 else if x == 1 then 1 else 2 in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     exec (sanitize (read_net ()))";
+
+  (* ...but merely clamping does NOT: the clamped branch returns x itself,
+     and x + 0 does not launder either (the on_binop rule joins taints) *)
+  show
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let clamp = fun x -> if 1000 < x then 1000 else x in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     exec (clamp (read_net ()) + 0)";
+
+  (* flow through the store is tracked: a tainted value parked in a ref *)
+  show
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     let cell = ref 0 in\n\
+     cell := read_net ();\n\
+     exec (!cell)";
+
+  (* trusted computation on trusted data is fine *)
+  show
+    "let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     let build = fun n -> n * 2 + 1 in\n\
+     exec (build 20)";
+
+  (* polymorphism: one logging helper used with both tainted and trusted
+     data without poisoning the trusted path *)
+  show
+    "let log = fun x -> x in\n\
+     let read_net = fun u -> @[tainted] 42 in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     let t = log (read_net ()) in\n\
+     exec (log 7)";
+
+  Fmt.pr
+    "@.(note: 'sanitize' launders by construction — every branch returns a \
+     fresh literal. A production system would instead TRUST designated \
+     sanitizers via annotation, exactly like the paper's sorted example in \
+     Section 2.3.)@."

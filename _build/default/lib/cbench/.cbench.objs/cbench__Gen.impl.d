@@ -1,0 +1,1 @@
+lib/cbench/gen.ml: Buffer List Option Printf Rng String

@@ -1,0 +1,1 @@
+lib/cbench/programs.ml:

@@ -1,0 +1,1 @@
+lib/cbench/rng.ml: Array Int64 List

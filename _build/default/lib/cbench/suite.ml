@@ -1,0 +1,70 @@
+(** The benchmark suite of Table 1, as synthetic stand-ins.
+
+    The paper analyzed six real C packages; we cannot ship them, so each
+    row is regenerated deterministically at the same line count with the
+    generator (see DESIGN.md, Substitutions). Names carry a [-sim] suffix
+    to make the substitution explicit in all output. *)
+
+type bench = {
+  b_name : string;
+  b_description : string;
+  b_lines : int;  (** the paper's Table 1 line count *)
+  b_seed : int;
+}
+
+(** Table 1. *)
+let table1 =
+  [
+    {
+      b_name = "woman-3.0a-sim";
+      b_description = "Replacement for man package";
+      b_lines = 1496;
+      b_seed = 0x30a;
+    }
+    ;
+    {
+      b_name = "patch-2.5-sim";
+      b_description = "Apply a diff file to an original";
+      b_lines = 5303;
+      b_seed = 0x25;
+    };
+    {
+      b_name = "m4-1.4-sim";
+      b_description = "Unix macro preprocessor";
+      b_lines = 7741;
+      b_seed = 0x14;
+    };
+    {
+      b_name = "diffutils-2.7-sim";
+      b_description = "Collection of utilities for diffing files";
+      b_lines = 8741;
+      b_seed = 0x27;
+    };
+    {
+      b_name = "ssh-1.2.26-sim";
+      b_description = "Secure shell";
+      b_lines = 18620;
+      b_seed = 0x1226;
+    };
+    {
+      b_name = "uucp-1.04-sim";
+      b_description = "Unix to unix copy package";
+      b_lines = 36913;
+      b_seed = 0x104;
+    };
+  ]
+
+let source_of (b : bench) : string =
+  Gen.generate ~seed:b.b_seed ~target_lines:b.b_lines ()
+
+(** A reduced suite for quick test runs. *)
+let small =
+  [
+    { b_name = "tiny-sim"; b_description = "tiny"; b_lines = 300; b_seed = 42 };
+    {
+      b_name = "small-sim";
+      b_description = "small";
+      b_lines = 1200;
+      b_seed = 43;
+    };
+  ]

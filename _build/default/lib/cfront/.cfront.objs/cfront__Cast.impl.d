@@ -1,0 +1,1 @@
+lib/cfront/cast.ml: Fmt List Option String

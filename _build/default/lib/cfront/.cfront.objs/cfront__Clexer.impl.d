@@ -1,0 +1,1 @@
+lib/cfront/clexer.ml: Buffer Ctoken Hashtbl Lexing List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/cparse.ml: Array Buffer Cast Clexer Ctoken Hashtbl List Printf String

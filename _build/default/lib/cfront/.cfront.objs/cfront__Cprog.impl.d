@@ -1,0 +1,1 @@
+lib/cfront/cprog.ml: Cast Hashtbl List String

@@ -1,0 +1,143 @@
+(* Lexer for the mini-C language. Handles ANSI C tokens, both comment
+   styles, character/string escapes, hex/octal integer literals, and the
+   paper's Section 2.5 qualifier extension: identifiers prefixed with `$'
+   lex as QUALNAME so user qualifiers never collide with C identifiers.
+   Preprocessor lines (`#...') are skipped — benchmark inputs are assumed
+   to be post-expansion, as with the paper's use of a real C front end. *)
+
+{
+open Ctoken
+
+exception Lex_error of string * int  (* message, line *)
+
+let line = ref 1
+
+let keywords = Hashtbl.create 64
+let () =
+  List.iter (fun (k, t) -> Hashtbl.add keywords k t)
+    [
+      ("void", KW_VOID); ("char", KW_CHAR); ("short", KW_SHORT);
+      ("int", KW_INT); ("long", KW_LONG); ("float", KW_FLOAT);
+      ("double", KW_DOUBLE); ("signed", KW_SIGNED); ("unsigned", KW_UNSIGNED);
+      ("const", KW_CONST); ("volatile", KW_VOLATILE); ("struct", KW_STRUCT);
+      ("union", KW_UNION); ("enum", KW_ENUM); ("typedef", KW_TYPEDEF);
+      ("static", KW_STATIC); ("extern", KW_EXTERN); ("register", KW_REGISTER);
+      ("auto", KW_AUTO); ("if", KW_IF); ("else", KW_ELSE);
+      ("while", KW_WHILE); ("do", KW_DO); ("for", KW_FOR);
+      ("return", KW_RETURN); ("break", KW_BREAK); ("continue", KW_CONTINUE);
+      ("switch", KW_SWITCH); ("case", KW_CASE); ("default", KW_DEFAULT);
+      ("goto", KW_GOTO); ("sizeof", KW_SIZEOF);
+    ]
+
+let unescape = function
+  | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | '0' -> '\000'
+  | 'b' -> '\b' | '\\' -> '\\' | '\'' -> '\'' | '"' -> '"'
+  | c -> c
+}
+
+let digit = ['0'-'9']
+let hex = ['0'-'9' 'a'-'f' 'A'-'F']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let alnum = ['a'-'z' 'A'-'Z' '_' '0'-'9']
+let ws = [' ' '\t' '\r']
+
+rule token = parse
+  | ws+                    { token lexbuf }
+  | '\n'                   { incr line; token lexbuf }
+  | "/*"                   { block_comment lexbuf; token lexbuf }
+  | "//" [^ '\n']*         { token lexbuf }
+  | '#' [^ '\n']*          { token lexbuf }  (* preprocessor line: skipped *)
+  | "0x" hex+ as s         { INT_LIT (int_of_string s) }
+  | '0' ['0'-'7']+ as s    { INT_LIT (int_of_string ("0o" ^ String.sub s 1 (String.length s - 1))) }
+  | digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)? as s
+                           { FLOAT_LIT (float_of_string s) }
+  | digit+ ['e' 'E'] ['+' '-']? digit+ as s
+                           { FLOAT_LIT (float_of_string s) }
+  | digit+ as s            { INT_LIT (int_of_string s) }
+  | digit+ ['u' 'U' 'l' 'L']+ as s
+                           { let i = ref 0 in
+                             while !i < String.length s &&
+                                   s.[!i] >= '0' && s.[!i] <= '9' do incr i done;
+                             INT_LIT (int_of_string (String.sub s 0 !i)) }
+  | '$' (alpha alnum* as s) { QUALNAME s }
+  | alpha alnum* as s      { match Hashtbl.find_opt keywords s with
+                             | Some t -> t
+                             | None -> IDENT s }
+  | '\'' '\\' (_ as c) '\'' { CHAR_LIT (unescape c) }
+  | '\'' ([^ '\\' '\''] as c) '\'' { CHAR_LIT c }
+  | '"'                    { STRING_LIT (string_lit (Buffer.create 16) lexbuf) }
+  | "..."                  { ELLIPSIS }
+  | "->"                   { ARROW }
+  | "++"                   { PLUSPLUS }
+  | "--"                   { MINUSMINUS }
+  | "<<="                  { SHL_ASSIGN }
+  | ">>="                  { SHR_ASSIGN }
+  | "<<"                   { SHL }
+  | ">>"                   { SHR }
+  | "<="                   { LE }
+  | ">="                   { GE }
+  | "=="                   { EQEQ }
+  | "!="                   { NE }
+  | "&&"                   { AMPAMP }
+  | "||"                   { BARBAR }
+  | "+="                   { PLUS_ASSIGN }
+  | "-="                   { MINUS_ASSIGN }
+  | "*="                   { STAR_ASSIGN }
+  | "/="                   { SLASH_ASSIGN }
+  | "%="                   { PERCENT_ASSIGN }
+  | "&="                   { AMP_ASSIGN }
+  | "|="                   { BAR_ASSIGN }
+  | "^="                   { CARET_ASSIGN }
+  | '('                    { LPAREN }
+  | ')'                    { RPAREN }
+  | '{'                    { LBRACE }
+  | '}'                    { RBRACE }
+  | '['                    { LBRACKET }
+  | ']'                    { RBRACKET }
+  | ';'                    { SEMI }
+  | ','                    { COMMA }
+  | ':'                    { COLON }
+  | '?'                    { QUESTION }
+  | '.'                    { DOT }
+  | '*'                    { STAR }
+  | '/'                    { SLASH }
+  | '%'                    { PERCENT }
+  | '+'                    { PLUS }
+  | '-'                    { MINUS }
+  | '&'                    { AMP }
+  | '|'                    { BAR }
+  | '^'                    { CARET }
+  | '~'                    { TILDE }
+  | '!'                    { BANG }
+  | '<'                    { LT }
+  | '>'                    { GT }
+  | '='                    { ASSIGN }
+  | eof                    { EOF }
+  | _ as c                 { raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)) }
+
+and block_comment = parse
+  | "*/"                   { () }
+  | '\n'                   { incr line; block_comment lexbuf }
+  | eof                    { raise (Lex_error ("unterminated comment", !line)) }
+  | _                      { block_comment lexbuf }
+
+and string_lit buf = parse
+  | '"'                    { Buffer.contents buf }
+  | '\\' (_ as c)          { Buffer.add_char buf (unescape c); string_lit buf lexbuf }
+  | '\n'                   { incr line; Buffer.add_char buf '\n'; string_lit buf lexbuf }
+  | eof                    { raise (Lex_error ("unterminated string", !line)) }
+  | _ as c                 { Buffer.add_char buf c; string_lit buf lexbuf }
+
+{
+(** Tokenize a whole source string, pairing each token with its line. *)
+let tokenize (src : string) : (Ctoken.t * int) list =
+  line := 1;
+  let lexbuf = Lexing.from_string src in
+  let rec go acc =
+    let ln = !line in
+    match token lexbuf with
+    | EOF -> List.rev ((EOF, ln) :: acc)
+    | t -> go ((t, ln) :: acc)
+  in
+  go []
+}

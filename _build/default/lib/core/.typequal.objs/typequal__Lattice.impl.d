@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Array Fmt Hashtbl List Printf Qualifier

@@ -1,0 +1,1 @@
+lib/core/lattice.mli: Fmt Qualifier

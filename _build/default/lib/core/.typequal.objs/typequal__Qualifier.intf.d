@@ -1,0 +1,1 @@
+lib/core/qualifier.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Fmt Fun Hashtbl Lattice List Option Qualifier Queue

@@ -1,0 +1,176 @@
+(** The qualifier lattice (Definition 2 of the paper).
+
+    Each positive qualifier [q] defines a two-point lattice
+    [absent <= present]; each negative qualifier defines
+    [present <= absent]. The qualifier lattice [L] is the product
+    [Lq1 * ... * Lqn] over a fixed, user-chosen set of qualifiers — a
+    {e space}. Lattice elements are represented as bitsets over the space
+    (bit [i] set = qualifier [i] syntactically present), which makes
+    [<=], meet and join single machine operations; the polarity of each
+    coordinate is folded into the comparison, not the representation. *)
+
+exception Unknown_qualifier of string
+
+(** A qualifier space: the (ordered) universe of qualifiers an analysis
+    uses. Spaces are small (at most {!Space.max_size} qualifiers) and
+    fixed for the lifetime of an analysis. *)
+module Space = struct
+  type t = {
+    quals : Qualifier.t array;
+    index : (string, int) Hashtbl.t;
+    pos_mask : int;  (* bits of positive qualifiers *)
+    neg_mask : int;  (* bits of negative qualifiers *)
+  }
+
+  let max_size = 60
+
+  let create quals =
+    let quals = Array.of_list quals in
+    let n = Array.length quals in
+    if n > max_size then
+      invalid_arg
+        (Printf.sprintf "Lattice.Space.create: at most %d qualifiers" max_size);
+    let index = Hashtbl.create 16 in
+    let pos_mask = ref 0 and neg_mask = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let name = Qualifier.name q in
+        if Hashtbl.mem index name then
+          invalid_arg
+            (Printf.sprintf "Lattice.Space.create: duplicate qualifier %S" name);
+        Hashtbl.add index name i;
+        if Qualifier.is_positive q then pos_mask := !pos_mask lor (1 lsl i)
+        else neg_mask := !neg_mask lor (1 lsl i))
+      quals;
+    { quals; index; pos_mask = !pos_mask; neg_mask = !neg_mask }
+
+  let size sp = Array.length sp.quals
+  let qual sp i = sp.quals.(i)
+  let quals sp = Array.to_list sp.quals
+
+  let find_opt sp name = Hashtbl.find_opt sp.index name
+
+  let find sp name =
+    match find_opt sp name with
+    | Some i -> i
+    | None -> raise (Unknown_qualifier name)
+
+  let mem sp name = Hashtbl.mem sp.index name
+  let pos_mask sp = sp.pos_mask
+  let neg_mask sp = sp.neg_mask
+end
+
+(** Elements of the product lattice [L], relative to a {!Space.t}. *)
+module Elt = struct
+  type t = int
+  (** Bit [i] set iff qualifier [i] is (syntactically) present. Ordering,
+      meet and join reinterpret the bits per coordinate polarity. *)
+
+  let full_mask sp = (1 lsl Space.size sp) - 1
+
+  (* Bottom of L: every positive qualifier absent, every negative present
+     (moving up the lattice adds positive or removes negative, Fig. 2). *)
+  let bottom sp = sp.Space.neg_mask
+
+  (* Top of L: every positive present, every negative absent. *)
+  let top sp = sp.Space.pos_mask
+
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = compare a b
+
+  (* a <= b iff, coordinatewise: positive bits of a included in b's, and
+     negative bits of b included in a's. *)
+  let leq sp a b =
+    let pos = sp.Space.pos_mask and neg = sp.Space.neg_mask in
+    a land pos land lnot b = 0 && b land neg land lnot a = 0
+
+  (* Restricted comparison: only the coordinates selected by [mask] are
+     compared. Used by masked (single-coordinate) constraints. *)
+  let leq_masked sp ~mask a b =
+    let pos = sp.Space.pos_mask land mask and neg = sp.Space.neg_mask land mask in
+    a land pos land lnot b = 0 && b land neg land lnot a = 0
+
+  let join sp a b =
+    let pos = sp.Space.pos_mask and neg = sp.Space.neg_mask in
+    ((a lor b) land pos) lor ((a land b) land neg)
+
+  let meet sp a b =
+    let pos = sp.Space.pos_mask and neg = sp.Space.neg_mask in
+    ((a land b) land pos) lor ((a lor b) land neg)
+
+  (* [embed_bottom sp mask x]: x on the [mask] coordinates, bottom
+     elsewhere — the neutral extension for joins. *)
+  let embed_bottom sp ~mask x = (x land mask) lor (bottom sp land lnot mask)
+
+  (* [embed_top sp mask x]: x on the [mask] coordinates, top elsewhere —
+     the neutral extension for meets. *)
+  let embed_top sp ~mask x = (x land mask) lor (top sp land lnot mask)
+
+  let has _sp i (x : t) = x land (1 lsl i) <> 0
+  let has_name sp name x = has sp (Space.find sp name) x
+  let set _sp i (x : t) = x lor (1 lsl i)
+  let clear _sp i (x : t) = x land lnot (1 lsl i)
+
+  (* not_ sp i: the paper's [¬qi] — top of L with coordinate i replaced by
+     the *bottom* of its two-point lattice. Asserting [Q <= not_ q] pins
+     coordinate q to its bottom and leaves the rest unconstrained: for
+     positive q this means "must not have q" (e.g. ¬const = assignable);
+     for negative q it means "must have q" (e.g. ¬?nonzero = nonzero). *)
+  let not_ sp i =
+    let t = top sp in
+    if Qualifier.is_positive (Space.qual sp i) then clear sp i t
+    else set sp i t
+
+  let not_name sp name = not_ sp (Space.find sp name)
+
+  (* Annotation constants are built bottom-up: start at bottom and raise the
+     listed coordinates. A listed positive qualifier becomes present; a
+     listed negative qualifier is *kept* present (it already is at bottom),
+     so writing e.g. [nonzero 37] as the paper does is accepted. *)
+  let of_names_up sp names =
+    List.fold_left
+      (fun acc name ->
+        let i = Space.find sp name in
+        set sp i acc)
+      (bottom sp) names
+
+  (* Assertion bounds are built top-down: start at top and pin the listed
+     coordinates to their bottoms (meet with ¬q). *)
+  let of_names_bound sp names =
+    List.fold_left (fun acc name -> meet sp acc (not_name sp name)) (top sp)
+      names
+
+  let singleton_mask _sp i = 1 lsl i
+  let mask_of_names sp names =
+    List.fold_left (fun m n -> m lor (1 lsl Space.find sp n)) 0 names
+
+  (* Pretty-print as the set of "interesting" annotations: positive
+     qualifiers that are present plus negative qualifiers that are present
+     (both are what the programmer would write). *)
+  let pp sp ppf (x : t) =
+    let names =
+      List.filteri (fun i _ -> has sp i x) (Space.quals sp)
+      |> List.map Qualifier.name
+    in
+    match names with
+    | [] -> Fmt.string ppf "∅"
+    | names -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") string) names
+
+  (* Exhaustive form: every coordinate, with ¬ marking absence of a
+     positive / presence-complement of a negative. *)
+  let pp_full sp ppf (x : t) =
+    let coord i q =
+      let present = has sp i x in
+      let name = Qualifier.name q in
+      if present then name else "¬" ^ name
+    in
+    Fmt.pf ppf "(%a)"
+      Fmt.(list ~sep:(any ",") string)
+      (List.mapi coord (Space.quals sp))
+
+  (* All elements of the lattice, for exhaustive property tests on small
+     spaces. *)
+  let all sp =
+    let n = Space.size sp in
+    List.init (1 lsl n) (fun i -> i)
+end

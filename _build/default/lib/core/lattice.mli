@@ -1,0 +1,102 @@
+(** The qualifier lattice (Definition 2 of the paper): the product of one
+    two-point lattice per qualifier in a fixed {e space}. Elements are
+    bitsets (bit [i] set = qualifier [i] syntactically present); each
+    coordinate's polarity is folded into the ordering, so for a positive
+    qualifier absence <= presence and for a negative one presence <=
+    absence ("moving up the lattice adds positive qualifiers or removes
+    negative qualifiers", Figure 2). *)
+
+exception Unknown_qualifier of string
+
+(** A qualifier space: the ordered universe of qualifiers an analysis
+    uses, fixed for the lifetime of the analysis. *)
+module Space : sig
+  type t
+
+  val max_size : int
+  (** maximum number of qualifiers per space (bitset representation) *)
+
+  val create : Qualifier.t list -> t
+  (** Raises [Invalid_argument] on duplicate names or too many
+      qualifiers. *)
+
+  val size : t -> int
+  val qual : t -> int -> Qualifier.t
+  val quals : t -> Qualifier.t list
+  val find_opt : t -> string -> int option
+
+  val find : t -> string -> int
+  (** Raises {!Unknown_qualifier}. *)
+
+  val mem : t -> string -> bool
+
+  val pos_mask : t -> int
+  (** bit mask of the positive qualifiers *)
+
+  val neg_mask : t -> int
+end
+
+(** Elements of the product lattice, relative to a {!Space.t}. *)
+module Elt : sig
+  type t = int
+  (** bit [i] set iff qualifier [i] is syntactically present *)
+
+  val full_mask : Space.t -> int
+
+  val bottom : Space.t -> t
+  (** every positive qualifier absent, every negative present *)
+
+  val top : Space.t -> t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val leq : Space.t -> t -> t -> bool
+  (** the lattice order: coordinatewise, per polarity *)
+
+  val leq_masked : Space.t -> mask:int -> t -> t -> bool
+  (** comparison restricted to the coordinates selected by [mask] *)
+
+  val join : Space.t -> t -> t -> t
+  val meet : Space.t -> t -> t -> t
+
+  val embed_bottom : Space.t -> mask:int -> t -> t
+  (** the masked coordinates of the argument, bottom elsewhere — the
+      neutral extension for joins, used by masked constraint propagation *)
+
+  val embed_top : Space.t -> mask:int -> t -> t
+  (** dual: neutral extension for meets *)
+
+  val has : Space.t -> int -> t -> bool
+  val has_name : Space.t -> string -> t -> bool
+  val set : Space.t -> int -> t -> t
+  val clear : Space.t -> int -> t -> t
+
+  val not_ : Space.t -> int -> t
+  (** the paper's [¬q]: top with coordinate [q] pinned to the {e bottom}
+      of its two-point sub-lattice. Asserting [Q <= not_ q] means "must
+      not have q" for positive [q] (e.g. ¬const = assignable) and "must
+      have q" for negative [q] (e.g. must be nonzero). *)
+
+  val not_name : Space.t -> string -> t
+
+  val of_names_up : Space.t -> string list -> t
+  (** annotation constants, built up from bottom by raising the listed
+      coordinates (accepts the paper's [nonzero 37] style spelling) *)
+
+  val of_names_bound : Space.t -> string list -> t
+  (** assertion bounds, built down from top by pinning the listed
+      coordinates to their bottoms (meet with [¬q]) *)
+
+  val singleton_mask : Space.t -> int -> int
+  val mask_of_names : Space.t -> string list -> int
+
+  val pp : Space.t -> t Fmt.t
+  (** set notation of the present qualifiers *)
+
+  val pp_full : Space.t -> t Fmt.t
+  (** exhaustive: every coordinate, absent ones marked ¬ *)
+
+  val all : Space.t -> t list
+  (** every element, for exhaustive tests on small spaces *)
+end

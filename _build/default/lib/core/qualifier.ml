@@ -1,0 +1,66 @@
+(** Type qualifiers (Definition 1 of the paper).
+
+    A qualifier [q] is {e positive} when [tau <= q tau] for every standard
+    type [tau] (e.g. [const]: adding it moves {e up} the subtype order), and
+    {e negative} when [q tau <= tau] (e.g. [nonzero]: removing it moves up).
+    Positive and negative qualifiers are dual; we support both directly, as
+    the paper does, because analyses are more natural to state with a mix. *)
+
+type polarity =
+  | Positive  (** [tau <= q tau]; absence is the bottom of the 2-point lattice *)
+  | Negative  (** [q tau <= tau]; presence is the bottom of the 2-point lattice *)
+
+type t = {
+  name : string;      (** Source-level name, e.g. ["const"]. Unique in a space. *)
+  polarity : polarity;
+}
+
+let make ?(polarity = Positive) name =
+  if name = "" then invalid_arg "Qualifier.make: empty name";
+  { name; polarity }
+
+let positive name = make ~polarity:Positive name
+let negative name = make ~polarity:Negative name
+
+let name q = q.name
+let polarity q = q.polarity
+let is_positive q = q.polarity = Positive
+let is_negative q = q.polarity = Negative
+
+let equal a b = String.equal a.name b.name && a.polarity = b.polarity
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> compare a.polarity b.polarity
+  | c -> c
+
+let pp ppf q = Fmt.string ppf q.name
+
+let pp_full ppf q =
+  Fmt.pf ppf "%s%s" (match q.polarity with Positive -> "+" | Negative -> "-")
+    q.name
+
+(* The qualifiers used throughout the paper and this reproduction. *)
+
+(** ANSI C [const]: an l-value that may be initialized but not updated
+    (Section 2.4, Section 4). Positive: [tau <= const tau]. *)
+let const = positive "const"
+
+(** Binding-time [dynamic] (partial evaluation, Section 1): a value possibly
+    unknown until run time. Positive; [static] is its absence. *)
+let dynamic = positive "dynamic"
+
+(** [nonzero] (Figure 2): an integer known not to be zero. Negative:
+    [nonzero tau <= tau]. *)
+let nonzero = negative "nonzero"
+
+(** lclint-style [nonnull] (Section 1): a pointer that is not null.
+    Negative: the non-null pointers are a subset of all pointers. *)
+let nonnull = negative "nonnull"
+
+(** [sorted] (Section 2.3): a list known to be sorted. Negative. *)
+let sorted = negative "sorted"
+
+(** Security [tainted] (cf. the information-flow systems of Section 5):
+    data influenced by an untrusted source. Positive: untainted data can be
+    used where tainted data is expected. *)
+let tainted = positive "tainted"

@@ -1,0 +1,59 @@
+(** Type qualifiers (Definition 1 of the paper).
+
+    A qualifier [q] is {e positive} when [tau <= q tau] for every standard
+    type [tau] (e.g. [const]: adding it moves up the subtype order), and
+    {e negative} when [q tau <= tau] (e.g. [nonzero]: removing it moves
+    up). Positive and negative qualifiers are dual; both are supported
+    directly, as in the paper, because analyses are more natural to state
+    with a mix. *)
+
+type polarity =
+  | Positive  (** [tau <= q tau]; absence is the bottom of the 2-point lattice *)
+  | Negative  (** [q tau <= tau]; presence is the bottom of the 2-point lattice *)
+
+type t = {
+  name : string;  (** source-level name, unique within a space *)
+  polarity : polarity;
+}
+
+val make : ?polarity:polarity -> string -> t
+(** [make name] is a qualifier (positive by default). Raises
+    [Invalid_argument] on an empty name. *)
+
+val positive : string -> t
+val negative : string -> t
+
+val name : t -> string
+val polarity : t -> polarity
+val is_positive : t -> bool
+val is_negative : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+(** prints the bare name *)
+
+val pp_full : t Fmt.t
+(** prints the name with a +/- polarity marker *)
+
+(** {1 The qualifiers used in the paper and this reproduction} *)
+
+val const : t
+(** ANSI C [const] (Sections 2.4, 4). Positive. *)
+
+val dynamic : t
+(** binding-time [dynamic] (Section 1); [static] is its absence. Positive. *)
+
+val nonzero : t
+(** an integer known not to be zero (Figure 2). Negative. *)
+
+val nonnull : t
+(** lclint-style non-null pointer (Section 1). Negative. *)
+
+val sorted : t
+(** a list known to be sorted (Section 2.3). Negative. *)
+
+val tainted : t
+(** security taint (cf. the information-flow systems of Section 5).
+    Positive. *)

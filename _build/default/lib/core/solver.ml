@@ -1,0 +1,652 @@
+(** Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper).
+
+    After decomposing subtype constraints on qualified types structurally,
+    qualifier inference is left with {e atomic} constraints over the
+    qualifier lattice [L]:
+
+    - [kappa <= L] and [L <= kappa] (variable/constant bounds),
+    - [kappa1 <= kappa2] (variable/variable edges),
+    - [L1 <= L2] (ground, checked immediately).
+
+    This is an atomic subtyping system, solvable in linear time for a fixed
+    set of qualifiers (Henglein–Rehof); we use worklist-based join
+    propagation for the least solution and meet propagation over reversed
+    edges for the greatest solution. The solver also supports {e masked}
+    constraints that relate only a subset of the lattice coordinates; these
+    express per-qualifier side conditions such as the binding-time
+    well-formedness rule ("nothing dynamic inside a static value") without
+    touching the other qualifiers.
+
+    The pair (least, greatest) solution classifies every variable per
+    Section 4.4: a coordinate is {e forced up} (e.g. must-const) when the
+    least solution already has it, {e forced down} (must-not-const) when
+    even the greatest solution lacks it, and {e unconstrained} otherwise.
+
+    Polymorphism support: constraint sets can be captured while they are
+    generated ({!recording}) and later re-instantiated under a renaming of
+    their local variables ({!instantiate}), implementing the constrained
+    type schemes [forall k. rho \ C] of Section 3.2 (with the existential
+    binding of purely-local variables realized by renaming {e all} scheme
+    locals at each instantiation). *)
+
+module Elt = Lattice.Elt
+module Space = Lattice.Space
+
+type reason = string option
+
+type var = {
+  id : int;
+  vname : string;
+  mutable lo_bound : Elt.t;  (* join of constant lower bounds (embedded) *)
+  mutable hi_bound : Elt.t;  (* meet of constant upper bounds (embedded) *)
+  mutable lo : Elt.t;        (* least solution, valid after [solve] *)
+  mutable hi : Elt.t;        (* greatest solution, valid after [solve] *)
+  mutable succs : (var * int * reason) list;  (* v <= succ on mask *)
+  mutable preds : (var * int * reason) list;
+  mutable lo_reasons : (Elt.t * int * reason) list;  (* provenance *)
+  mutable hi_reasons : (Elt.t * int * reason) list;
+}
+
+type atom =
+  | Avc of var * Elt.t * int * reason  (* var <= const on mask *)
+  | Acv of Elt.t * var * int * reason  (* const <= var on mask *)
+  | Avv of var * var * int * reason    (* var <= var on mask *)
+
+type error = {
+  err_var : var option;
+  err_msg : string;
+}
+
+type t = {
+  space : Space.t;
+  mutable vars : var list;  (* in reverse creation order *)
+  mutable nvars : int;
+  mutable ground_errors : error list;
+  mutable recorders : atom list ref list;
+  mutable solved : bool;
+}
+
+let create space =
+  {
+    space;
+    vars = [];
+    nvars = 0;
+    ground_errors = [];
+    recorders = [];
+    solved = false;
+  }
+
+let space t = t.space
+let num_vars t = t.nvars
+
+let fresh ?(name = "q") t =
+  let sp = t.space in
+  let v =
+    {
+      id = t.nvars;
+      vname = name;
+      lo_bound = Elt.bottom sp;
+      hi_bound = Elt.top sp;
+      lo = Elt.bottom sp;
+      hi = Elt.top sp;
+      succs = [];
+      preds = [];
+      lo_reasons = [];
+      hi_reasons = [];
+    }
+  in
+  t.nvars <- t.nvars + 1;
+  t.vars <- v :: t.vars;
+  t.solved <- false;
+  v
+
+let var_id v = v.id
+let var_name v = v.vname
+let pp_var ppf v = Fmt.pf ppf "%s#%d" v.vname v.id
+
+let record t atom = List.iter (fun r -> r := atom :: !r) t.recorders
+
+(* var <= const, restricted to the coordinates in [mask]. *)
+let add_leq_vc ?reason ?mask t v c =
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
+  t.solved <- false;
+  record t (Avc (v, c, mask, reason));
+  v.hi_bound <- Elt.meet t.space v.hi_bound (Elt.embed_top t.space ~mask c);
+  v.hi_reasons <- (c, mask, reason) :: v.hi_reasons
+
+(* const <= var, restricted to [mask]. *)
+let add_leq_cv ?reason ?mask t c v =
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
+  t.solved <- false;
+  record t (Acv (c, v, mask, reason));
+  v.lo_bound <- Elt.join t.space v.lo_bound (Elt.embed_bottom t.space ~mask c);
+  v.lo_reasons <- (c, mask, reason) :: v.lo_reasons
+
+(* var <= var, restricted to [mask]. *)
+let add_leq_vv ?reason ?mask t a b =
+  if a != b then begin
+    let mask = Option.value mask ~default:(Elt.full_mask t.space) in
+    t.solved <- false;
+    record t (Avv (a, b, mask, reason));
+    a.succs <- (b, mask, reason) :: a.succs;
+    b.preds <- (a, mask, reason) :: b.preds
+  end
+
+(* Ground constraint const <= const: checked immediately (mask-restricted). *)
+let add_leq_cc ?reason ?mask t c1 c2 =
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
+  if not (Elt.leq_masked t.space ~mask c1 c2) then
+    t.ground_errors <-
+      {
+        err_var = None;
+        err_msg =
+          Fmt.str "unsatisfiable ground constraint %a <= %a%a"
+            (Elt.pp_full t.space) c1 (Elt.pp_full t.space) c2
+            Fmt.(option (any " (" ++ string ++ any ")"))
+            reason;
+      }
+      :: t.ground_errors
+
+let add_eq_vv ?reason ?mask t a b =
+  add_leq_vv ?reason ?mask t a b;
+  add_leq_vv ?reason ?mask t b a
+
+(* Pin a variable to exactly [c] (used by annotations, whose rule types the
+   result as exactly [l tau]). *)
+let add_eq_vc ?reason ?mask t v c =
+  add_leq_vc ?reason ?mask t v c;
+  add_leq_cv ?reason ?mask t c v
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Least solution: start every variable at the join of its constant lower
+   bounds and propagate joins along forward edges until fixpoint. *)
+let solve_least t =
+  let sp = t.space in
+  List.iter (fun v -> v.lo <- v.lo_bound) t.vars;
+  let queue = Queue.create () in
+  let inq = Hashtbl.create 64 in
+  let push v =
+    if not (Hashtbl.mem inq v.id) then begin
+      Hashtbl.add inq v.id ();
+      Queue.push v queue
+    end
+  in
+  List.iter push t.vars;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
+    List.iter
+      (fun (s, mask, _) ->
+        let contrib = Elt.embed_bottom sp ~mask v.lo in
+        let lo' = Elt.join sp s.lo contrib in
+        if not (Elt.equal lo' s.lo) then begin
+          s.lo <- lo';
+          push s
+        end)
+      v.succs
+  done
+
+(* Greatest solution: dual — meets along reversed edges. *)
+let solve_greatest t =
+  let sp = t.space in
+  List.iter (fun v -> v.hi <- v.hi_bound) t.vars;
+  let queue = Queue.create () in
+  let inq = Hashtbl.create 64 in
+  let push v =
+    if not (Hashtbl.mem inq v.id) then begin
+      Hashtbl.add inq v.id ();
+      Queue.push v queue
+    end
+  in
+  List.iter push t.vars;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
+    List.iter
+      (fun (p, mask, _) ->
+        let contrib = Elt.embed_top sp ~mask v.hi in
+        let hi' = Elt.meet sp p.hi contrib in
+        if not (Elt.equal hi' p.hi) then begin
+          p.hi <- hi';
+          push p
+        end)
+      v.preds
+  done
+
+(* Explain why [v]'s least solution violates its upper bound: find the
+   offending coordinate, then walk backwards to a constant lower bound that
+   raised it. *)
+let explain t v =
+  let sp = t.space in
+  let bad = ref None in
+  for i = 0 to Space.size sp - 1 do
+    if !bad = None then begin
+      let mask = Elt.singleton_mask sp i in
+      if not (Elt.leq_masked sp ~mask v.lo v.hi_bound) then bad := Some i
+    end
+  done;
+  match !bad with
+  | None -> Fmt.str "%a: bound violation" pp_var v
+  | Some i ->
+      let q = Space.qual sp i in
+      let mask = Elt.singleton_mask sp i in
+      (* the value of coordinate i that lo carries *)
+      let coord_of x = x land mask in
+      let target = coord_of v.lo in
+      (* BFS backwards for a var whose own constant lower bounds produce
+         [target] on coordinate i. *)
+      let seen = Hashtbl.create 16 in
+      let rec search frontier =
+        match frontier with
+        | [] -> None
+        | u :: rest ->
+            if Hashtbl.mem seen u.id then search rest
+            else begin
+              Hashtbl.add seen u.id ();
+              if coord_of u.lo_bound = target && coord_of u.lo = target then
+                let reason =
+                  List.find_map
+                    (fun (c, m, r) ->
+                      if m land mask <> 0 && coord_of c = target then
+                        Some (Option.value r ~default:"constant bound")
+                      else None)
+                    u.lo_reasons
+                in
+                Some (u, Option.value reason ~default:"constant bound")
+              else
+                let preds =
+                  List.filter_map
+                    (fun (p, m, _) ->
+                      if m land mask <> 0 && coord_of p.lo = target then Some p
+                      else None)
+                    u.preds
+                in
+                search (rest @ preds)
+            end
+      in
+      let origin =
+        match search [ v ] with
+        | Some (u, r) -> Fmt.str "; forced at %a (%s)" pp_var u r
+        | None -> ""
+      in
+      let bound_reason =
+        List.find_map
+          (fun (_, m, r) ->
+            if m land mask <> 0 && not (Elt.leq_masked sp ~mask v.lo v.hi_bound)
+            then r
+            else None)
+          v.hi_reasons
+      in
+      Fmt.str "qualifier %a of %a violates an upper bound%a%s" Qualifier.pp q
+        pp_var v
+        Fmt.(option (any " (" ++ string ++ any ")"))
+        bound_reason origin
+
+(* Solve and report unsatisfiability. Computes both the least and greatest
+   solutions; satisfiability is equivalent to the least solution meeting
+   every constant upper bound. *)
+let solve t =
+  solve_least t;
+  solve_greatest t;
+  t.solved <- true;
+  let errs =
+    List.filter_map
+      (fun v ->
+        if Elt.leq t.space v.lo v.hi_bound then None
+        else Some { err_var = Some v; err_msg = explain t v })
+      t.vars
+  in
+  let errs = List.rev_append t.ground_errors errs in
+  if errs = [] then Ok () else Error errs
+
+let least t v =
+  if not t.solved then ignore (solve t);
+  v.lo
+
+let greatest t v =
+  if not t.solved then ignore (solve t);
+  v.hi
+
+(* Classification of one coordinate of a variable, per Section 4.4. *)
+type verdict =
+  | Forced_up    (* least solution already has the qualifier: "must be const" *)
+  | Forced_down  (* greatest solution lacks it: "must not be const" *)
+  | Free         (* could be either *)
+
+let classify t v i =
+  if not t.solved then ignore (solve t);
+  let present x = Elt.has t.space i x in
+  let q = Space.qual t.space i in
+  (* "up" means toward the top of the coordinate's two-point lattice *)
+  let up_present = Qualifier.is_positive q in
+  let lo_up = present v.lo = up_present in
+  let hi_up = present v.hi = up_present in
+  if lo_up then Forced_up
+  else if not hi_up then Forced_down
+  else Free
+
+let classify_name t v name = classify t v (Space.find t.space name)
+
+let pp_verdict ppf = function
+  | Forced_up -> Fmt.string ppf "forced-up"
+  | Forced_down -> Fmt.string ppf "forced-down"
+  | Free -> Fmt.string ppf "free"
+
+(* ------------------------------------------------------------------ *)
+(* Recording and schemes (Section 3.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f], capturing every atom added during its execution (including
+   atoms emitted by nested instantiations). Recorders nest. *)
+let recording t f =
+  let r = ref [] in
+  t.recorders <- r :: t.recorders;
+  Fun.protect
+    ~finally:(fun () ->
+      t.recorders <- List.filter (fun r' -> r' != r) t.recorders)
+    (fun () ->
+      let x = f () in
+      (x, List.rev !r))
+
+type scheme = {
+  locals : var list;
+  (* every variable local to the scheme: the generalized interface
+     variables plus the existentially bound internals; all are renamed at
+     instantiation so instances cannot interfere (Section 3.2) *)
+  atoms : atom list;
+}
+
+let make_scheme ~locals ~atoms = { locals; atoms }
+let scheme_locals s = s.locals
+let scheme_atoms s = s.atoms
+
+(* Re-emit the scheme's constraints under a fresh renaming of its locals.
+   Returns the renaming so callers can rebuild the instantiated type. *)
+let instantiate t s =
+  let map = Hashtbl.create (List.length s.locals) in
+  List.iter
+    (fun v -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
+    s.locals;
+  let rn v = match Hashtbl.find_opt map v.id with Some v' -> v' | None -> v in
+  List.iter
+    (function
+      | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
+      | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
+      | Avv (a, b, mask, reason) -> add_leq_vv ?reason ~mask t (rn a) (rn b))
+    s.atoms;
+  rn
+
+let pp_atom sp ppf = function
+  | Avc (v, c, _, _) -> Fmt.pf ppf "%a <= %a" pp_var v (Elt.pp_full sp) c
+  | Acv (c, v, _, _) -> Fmt.pf ppf "%a <= %a" (Elt.pp_full sp) c pp_var v
+  | Avv (a, b, _, _) -> Fmt.pf ppf "%a <= %a" pp_var a pp_var b
+
+let pp_error ppf e = Fmt.string ppf e.err_msg
+let error_message e = e.err_msg
+
+(* ------------------------------------------------------------------ *)
+(* Naive baseline solver (ablation; see DESIGN.md)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Same least solution computed by round-robin iteration to fixpoint, with
+   no worklist. Kept as the ablation baseline for the micro-benchmarks. *)
+let solve_least_naive t =
+  let sp = t.space in
+  List.iter (fun v -> v.lo <- v.lo_bound) t.vars;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (s, mask, _) ->
+            let contrib = Elt.embed_bottom sp ~mask v.lo in
+            let lo' = Elt.join sp s.lo contrib in
+            if not (Elt.equal lo' s.lo) then begin
+              s.lo <- lo';
+              changed := true
+            end)
+          v.succs)
+      t.vars
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Scheme simplification (the open problem of Section 6, basic form)   *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheme's meaning is the projection of its solution set onto the
+   observable variables (the interface variables of the generalized type
+   plus any free variables); the existentially bound internals can be
+   eliminated whenever elimination is exact. Over a lattice, a variable v
+   with full-mask constraints {a_i <= v, L_i <= v, v <= b_j, v <= U_j} can
+   be replaced by the pairwise compositions (take v = the join of its
+   lower bounds), which is exact. We apply three passes to a fixed point:
+
+   1. duplicate atoms are dropped;
+   2. a non-observable local with no upper (resp. no lower) atoms is
+      dropped together with its atoms — they are vacuous;
+   3. a non-observable local whose in-degree or out-degree is at most 1
+      (so composition does not grow the system) is eliminated by pairwise
+      composition.
+
+   Masked atoms (per-coordinate well-formedness conditions) are treated
+   conservatively: a variable with any non-full-mask atom is kept. *)
+
+let simplify_scheme t ~(interface : var list) (s : scheme) : scheme =
+  let full = Lattice.Elt.full_mask t.space in
+  let sp = t.space in
+  let local_ids = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace local_ids v.id ()) s.locals;
+  let observable = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace observable v.id ()) interface;
+  (* free variables of the scheme are observable too *)
+  List.iter
+    (fun a ->
+      let mark v =
+        if not (Hashtbl.mem local_ids v.id) then
+          Hashtbl.replace observable v.id ()
+      in
+      match a with
+      | Avc (v, _, _, _) | Acv (_, v, _, _) -> mark v
+      | Avv (x, y, _, _) ->
+          mark x;
+          mark y)
+    s.atoms;
+  (* dedup *)
+  let key = function
+    | Avc (v, c, m, _) -> (0, v.id, -1, c, m)
+    | Acv (c, v, m, _) -> (1, v.id, -1, c, m)
+    | Avv (x, y, m, _) -> (2, x.id, y.id, 0, m)
+  in
+  let seen = Hashtbl.create 128 in
+  let atoms =
+    ref
+      (List.filter
+         (fun a ->
+           let k = key a in
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.add seen k ();
+             (* drop trivially vacuous atoms *)
+             match a with
+             | Avc (_, c, m, _) ->
+                 not (Lattice.Elt.leq_masked sp ~mask:m (Lattice.Elt.top sp) c)
+             | Acv (c, _, m, _) ->
+                 not
+                   (Lattice.Elt.leq_masked sp ~mask:m c (Lattice.Elt.bottom sp))
+             | Avv (x, y, _, _) -> x.id <> y.id
+           end)
+         s.atoms)
+  in
+  let eliminated = Hashtbl.create 32 in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < 20 do
+    changed := false;
+    incr passes;
+    (* index: per variable, lower-side atoms (x <= v) and upper-side *)
+    let lowers = Hashtbl.create 64 and uppers = Hashtbl.create 64 in
+    let masked_ok = Hashtbl.create 64 in
+    let add tbl id a = Hashtbl.replace tbl id (a :: try Hashtbl.find tbl id with Not_found -> []) in
+    List.iter
+      (fun a ->
+        match a with
+        | Avc (v, _, m, _) ->
+            add uppers v.id a;
+            if m <> full then Hashtbl.replace masked_ok v.id ()
+        | Acv (_, v, m, _) ->
+            add lowers v.id a;
+            if m <> full then Hashtbl.replace masked_ok v.id ()
+        | Avv (x, y, m, _) ->
+            add uppers x.id a;
+            add lowers y.id a;
+            if m <> full then begin
+              Hashtbl.replace masked_ok x.id ();
+              Hashtbl.replace masked_ok y.id ()
+            end)
+      !atoms;
+    let eliminable v =
+      Hashtbl.mem local_ids v.id
+      && (not (Hashtbl.mem observable v.id))
+      && (not (Hashtbl.mem masked_ok v.id))
+      && not (Hashtbl.mem eliminated v.id)
+    in
+    let kill = Hashtbl.create 16 in
+    let extra = ref [] in
+    List.iter
+      (fun v ->
+        if eliminable v && not (Hashtbl.mem kill v.id) then begin
+          let lo = try Hashtbl.find lowers v.id with Not_found -> [] in
+          let up = try Hashtbl.find uppers v.id with Not_found -> [] in
+          let nlo = List.length lo and nup = List.length up in
+          (* never touch a neighbour killed this pass: a freshly composed
+             atom may reference this variable, and deleting or composing
+             against the stale pass-start index would resurrect dead
+             variables; the next pass sees the rebuilt index *)
+          let neighbour_killed =
+            List.exists
+              (fun a ->
+                match a with
+                | Avc (v', _, _, _) | Acv (_, v', _, _) ->
+                    Hashtbl.mem kill v'.id
+                | Avv (x, y, _, _) ->
+                    Hashtbl.mem kill x.id || Hashtbl.mem kill y.id)
+              (lo @ up)
+          in
+          if neighbour_killed then ()
+          else if nlo = 0 || nup = 0 then begin
+            (* vacuous: delete the variable and its atoms *)
+            Hashtbl.replace kill v.id ();
+            Hashtbl.replace eliminated v.id ();
+            changed := true
+          end
+          else if nlo <= 1 || nup <= 1 then begin
+            (* exact pairwise composition *)
+            let ok = ref true in
+            let comps = ref [] in
+            List.iter
+              (fun la ->
+                List.iter
+                  (fun ua ->
+                    match (la, ua) with
+                    | Acv (c, _, _, r), Avc (_, c', _, r') ->
+                        if Lattice.Elt.leq sp c c' then ()
+                        else (
+                          ignore (r, r');
+                          ok := false)
+                    | Acv (c, _, _, r), Avv (_, y, _, _) ->
+                        comps := Acv (c, y, full, r) :: !comps
+                    | Avv (x, _, _, r), Avc (_, c', _, _) ->
+                        comps := Avc (x, c', full, r) :: !comps
+                    | Avv (x, _, _, r), Avv (_, y, _, _) ->
+                        if x.id <> y.id then comps := Avv (x, y, full, r) :: !comps
+                    | _ -> ok := false)
+                  up)
+              lo;
+            if !ok then begin
+              Hashtbl.replace kill v.id ();
+              Hashtbl.replace eliminated v.id ();
+              extra := !comps @ !extra;
+              changed := true
+            end
+          end
+        end)
+      s.locals;
+    if !changed then begin
+      let touches id = Hashtbl.mem kill id in
+      atoms :=
+        List.filter
+          (fun a ->
+            match a with
+            | Avc (v, _, _, _) | Acv (_, v, _, _) -> not (touches v.id)
+            | Avv (x, y, _, _) -> not (touches x.id || touches y.id))
+          !atoms
+        @ !extra
+    end
+  done;
+  let locals =
+    List.filter (fun v -> not (Hashtbl.mem eliminated v.id)) s.locals
+  in
+  { locals; atoms = !atoms }
+
+let scheme_size s = List.length s.atoms
+
+(* ------------------------------------------------------------------ *)
+(* Standalone evaluation of an atom list                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Least/greatest solutions of a bare atom list, computed with local
+   tables and without touching any store or variable record. Variables not
+   mentioned default to (bottom, top). Used to summarize schemes in
+   isolation (polymorphic recursion's convergence test). *)
+let solve_atoms sp (atoms : atom list) : int -> Elt.t * Elt.t =
+  let lo = Hashtbl.create 64 and hi = Hashtbl.create 64 in
+  let get tbl dflt id = try Hashtbl.find tbl id with Not_found -> dflt in
+  let bot = Elt.bottom sp and top = Elt.top sp in
+  let edges = ref [] in
+  List.iter
+    (function
+      | Acv (c, v, m, _) ->
+          Hashtbl.replace lo v.id
+            (Elt.join sp (get lo bot v.id) (Elt.embed_bottom sp ~mask:m c))
+      | Avc (v, c, m, _) ->
+          Hashtbl.replace hi v.id
+            (Elt.meet sp (get hi top v.id) (Elt.embed_top sp ~mask:m c))
+      | Avv (x, y, m, _) -> edges := (x.id, y.id, m) :: !edges)
+    atoms;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (x, y, m) ->
+        (* forward: lo flows x -> y *)
+        let contrib = Elt.embed_bottom sp ~mask:m (get lo bot x) in
+        let lo' = Elt.join sp (get lo bot y) contrib in
+        if not (Elt.equal lo' (get lo bot y)) then begin
+          Hashtbl.replace lo y lo';
+          changed := true
+        end;
+        (* backward: hi flows y -> x *)
+        let contrib = Elt.embed_top sp ~mask:m (get hi top y) in
+        let hi' = Elt.meet sp (get hi top x) contrib in
+        if not (Elt.equal hi' (get hi top x)) then begin
+          Hashtbl.replace hi x hi';
+          changed := true
+        end)
+      !edges
+  done;
+  fun id -> (get lo bot id, get hi top id)
+
+(* Present a scheme as a constrained type qualifier prefix — the notation
+   question raised in Section 6 ("we currently do not have a notation for
+   specifying constraints in the source language"). Combine with
+   [simplify_scheme] for readable output. *)
+let pp_scheme space ppf (s : scheme) =
+  Fmt.pf ppf "∀%a. {%a}"
+    (Fmt.list ~sep:(Fmt.any " ") pp_var)
+    s.locals
+    (Fmt.list ~sep:(Fmt.any ", ") (pp_atom space))
+    s.atoms

@@ -1,0 +1,142 @@
+(** Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper).
+
+    After subtype constraints on qualified types are decomposed
+    structurally, qualifier inference is left with atomic constraints over
+    the qualifier lattice: [kappa <= L], [L <= kappa], [kappa1 <= kappa2]
+    and ground [L1 <= L2]. This is the atomic subtyping system that is
+    solvable in linear time for a fixed set of qualifiers (Henglein–Rehof,
+    cited in Section 3.1); the solver computes least and greatest
+    solutions by worklist join/meet propagation.
+
+    Constraints may be {e masked} to a subset of lattice coordinates,
+    expressing per-qualifier side conditions (e.g. binding-time's "nothing
+    dynamic inside a static value") without coupling the other qualifiers.
+
+    Constrained type schemes (Section 3.2) are supported by {!recording}
+    the atoms generated while inferring a binding and {!instantiate}-ing
+    them later under a fresh renaming of the scheme-local variables. *)
+
+module Elt = Lattice.Elt
+module Space = Lattice.Space
+
+type reason = string option
+(** human-readable provenance attached to constraints, used in error
+    explanations *)
+
+type var
+(** a qualifier variable (the paper's kappa) *)
+
+(** a recorded constraint *)
+type atom =
+  | Avc of var * Elt.t * int * reason  (** var <= const, on a mask *)
+  | Acv of Elt.t * var * int * reason  (** const <= var, on a mask *)
+  | Avv of var * var * int * reason  (** var <= var, on a mask *)
+
+type error
+
+type t
+(** a constraint store over one qualifier space *)
+
+val create : Space.t -> t
+val space : t -> Space.t
+
+val num_vars : t -> int
+(** number of variables created so far (also a size proxy) *)
+
+val fresh : ?name:string -> t -> var
+val var_id : var -> int
+val var_name : var -> string
+val pp_var : var Fmt.t
+
+(** {1 Adding constraints}
+
+    All take an optional [mask] restricting the affected coordinates
+    (default: all) and an optional human-readable [reason]. *)
+
+val add_leq_vc : ?reason:string -> ?mask:int -> t -> var -> Elt.t -> unit
+val add_leq_cv : ?reason:string -> ?mask:int -> t -> Elt.t -> var -> unit
+val add_leq_vv : ?reason:string -> ?mask:int -> t -> var -> var -> unit
+
+val add_leq_cc : ?reason:string -> ?mask:int -> t -> Elt.t -> Elt.t -> unit
+(** ground constraint, checked immediately; a violation is reported by
+    the next {!solve} *)
+
+val add_eq_vv : ?reason:string -> ?mask:int -> t -> var -> var -> unit
+
+val add_eq_vc : ?reason:string -> ?mask:int -> t -> var -> Elt.t -> unit
+(** pin a variable to exactly a constant (used by annotations, whose rule
+    types the result as exactly [l tau]) *)
+
+(** {1 Solving} *)
+
+val solve : t -> (unit, error list) result
+(** compute the least and greatest solutions; [Ok] iff satisfiable.
+    Solving is idempotent and re-runs automatically after new constraints
+    are added. *)
+
+val least : t -> var -> Elt.t
+val greatest : t -> var -> Elt.t
+
+(** classification of one coordinate of a variable (Section 4.4) *)
+type verdict =
+  | Forced_up  (** the least solution has it: e.g. "must be const" *)
+  | Forced_down  (** the greatest lacks it: "must not be const" *)
+  | Free  (** could be either *)
+
+val classify : t -> var -> int -> verdict
+val classify_name : t -> var -> string -> verdict
+val pp_verdict : verdict Fmt.t
+
+val error_message : error -> string
+val pp_error : error Fmt.t
+
+(** {1 Recording and schemes (Section 3.2)} *)
+
+val recording : t -> (unit -> 'a) -> 'a * atom list
+(** run the function, capturing every atom added during its execution
+    (including atoms emitted by nested instantiations); recorders nest *)
+
+type scheme
+(** a constrained type scheme [forall kappas. C]: a set of local variables
+    (both the generalized interface variables and the existentially bound
+    internals) together with the captured atoms *)
+
+val make_scheme : locals:var list -> atoms:atom list -> scheme
+val scheme_locals : scheme -> var list
+val scheme_atoms : scheme -> atom list
+
+val scheme_size : scheme -> int
+(** number of atoms *)
+
+val instantiate : t -> scheme -> var -> var
+(** re-emit the scheme's constraints under a fresh renaming of all its
+    locals (so instances cannot interfere — the existential binding of
+    Section 3.2); returns the renaming, the identity on non-locals *)
+
+val simplify_scheme : t -> interface:var list -> scheme -> scheme
+(** Simplify a scheme (a basic answer to the open problem of Section 6):
+    duplicate and vacuous atoms are dropped, and existentially bound
+    internal variables are eliminated by exact pairwise composition when
+    that does not grow the system. The projection of the solution set
+    onto [interface] and the scheme's free variables is preserved
+    (property-tested). Variables carrying masked atoms are kept
+    conservatively. *)
+
+val pp_atom : Space.t -> atom Fmt.t
+
+(** {1 Baseline (ablation)} *)
+
+val solve_least : t -> unit
+(** worklist least-solution pass only (used by benchmarks) *)
+
+val solve_least_naive : t -> unit
+(** round-robin iteration baseline; computes the same least solution *)
+
+val solve_atoms : Space.t -> atom list -> int -> Lattice.Elt.t * Lattice.Elt.t
+(** least/greatest solutions of a bare atom list, computed locally without
+    touching any store (unmentioned variables default to (bottom, top));
+    used to summarize schemes in isolation *)
+
+val pp_scheme : Space.t -> scheme Fmt.t
+(** render a constrained scheme (Section 6's presentation concern);
+    combine with {!simplify_scheme} for readable output *)

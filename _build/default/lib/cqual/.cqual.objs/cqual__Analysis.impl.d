@@ -1,0 +1,1 @@
+lib/cqual/analysis.ml: Cast Cfront Cprog Fdg Hashtbl List Option Qtypes Typequal

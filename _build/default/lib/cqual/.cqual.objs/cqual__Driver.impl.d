@@ -1,0 +1,1 @@
+lib/cqual/driver.ml: Analysis Cfront List Report Typequal Unix

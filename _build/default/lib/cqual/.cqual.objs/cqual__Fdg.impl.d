@@ -1,0 +1,1 @@
+lib/cqual/fdg.ml: Cast Cfront Cprog Hashtbl List String

@@ -1,0 +1,1 @@
+lib/cqual/flow.ml: Cast Cfront Cparse Cprog Hashtbl List Option Printf Typequal

@@ -1,0 +1,1 @@
+lib/cqual/qtypes.ml: Cast Cfront Cprog Fmt Hashtbl List Typequal

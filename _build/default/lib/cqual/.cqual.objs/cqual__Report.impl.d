@@ -1,0 +1,1 @@
+lib/cqual/report.ml: Analysis Cast Cfront Cprog Fmt List Qtypes Typequal

@@ -1,0 +1,830 @@
+(** Const inference for C (Section 4): flow-insensitive constraint
+    generation over mini-C programs.
+
+    Every C construct the paper discusses is handled:
+    - variables are refs; r-positions auto-dereference (Section 4.1);
+    - assignment requires the target ref below [¬const] (rule (Assign'));
+    - struct fields share one set of qualifier variables per declaration,
+      while the top-level qualifiers of distinct struct variables stay
+      independent (Section 4.2);
+    - typedefs are macro-expanded, sharing nothing (Section 4.2);
+    - undefined (library) functions are conservative: pointer arguments
+      whose parameter is not declared const are forced non-const; their
+      results are fresh per call (Section 4.2);
+    - explicit casts lose the association between value and type; implicit
+      conversions retain what they can (Section 4.2);
+    - variadic calls and arity mismatches ignore extra arguments
+      (Section 4.2);
+    - polymorphic inference generalizes per strongly connected component of
+      the FDG, traversed callees-first; global variables stay monomorphic
+      (Section 4.3). *)
+
+module Solver = Typequal.Solver
+module Elt = Typequal.Lattice.Elt
+module Space = Typequal.Lattice.Space
+module Q = Typequal.Qualifier
+open Cfront
+open Qtypes
+
+type mode =
+  | Mono
+  | Poly
+  | Polyrec
+      (** polymorphic recursion (Section 4.3's "we would prefer to use
+          polymorphic recursion": decidable and efficient because the
+          qualifier lattice is finite and qualifiers do not change the
+          type structure); implemented as Mycroft-style iteration of the
+          per-SCC generalization to a fixed point of the interface
+          summaries *)
+
+(** The qualifier space used by const inference. *)
+let const_space = Space.create [ Q.const ]
+
+(** Per-qualifier rule set for the C analysis — the C-side analogue of the
+    example language's hooks. The engine (flows, ℓ translation, struct
+    sharing, FDG polymorphism) is qualifier-agnostic; these three callbacks
+    give a space its semantics. *)
+type qrules = {
+  qr_space : Space.t;
+  qr_name : string;  (** the qualifier whose verdicts {!Report} counts *)
+  qr_write : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of every assigned ref (the paper's
+          (Assign') choice point) *)
+  qr_escape : Solver.t -> declared:Cast.quals option -> Solver.var -> unit;
+      (** called with the qualifier of each pointer level of a value
+          escaping to unknown code (library/variadic/undeclared calls),
+          together with the declared qualifiers of the corresponding
+          parameter level if a prototype provides them *)
+  qr_seed : Solver.t -> Qtypes.cell -> Cast.quals -> unit;
+      (** interpretation of source-level qualifiers on a declaration *)
+}
+
+(** Section 4's const rules: assignment targets below ¬const; escaping
+    pointer levels not declared const are forced non-const; declared
+    qualifiers in the space seed lower bounds. *)
+let const_rules : qrules =
+  let sp = const_space in
+  let not_const = Elt.not_name sp "const" in
+  {
+    qr_space = sp;
+    qr_name = "const";
+    qr_write =
+      (fun store q ->
+        Solver.add_leq_vc ~reason:"assignment target must be non-const (Assign')"
+          store q not_const);
+    qr_escape =
+      (fun store ~declared q ->
+        let exempt =
+          match declared with Some qs -> Cast.is_const qs | None -> false
+        in
+        if not exempt then
+          Solver.add_leq_vc
+            ~reason:"escapes to unknown code not declared const" store q
+            not_const);
+    qr_seed =
+      (fun store c quals ->
+        seed_declared store c quals ~reason:"declared qualifier");
+  }
+
+let taint_space = Space.create [ Q.tainted ]
+
+(** CQual-style taint rules over the Section 2.5 [$]-qualifier syntax:
+    [$tainted] on a declaration level seeds taint (sources), [$untainted]
+    pins the level below ¬tainted (trusted sinks). Writes are unrestricted;
+    escaping to unknown code neither taints nor untaints (library
+    behaviour is described by its prototype annotations). *)
+let taint_rules : qrules =
+  let sp = taint_space in
+  let not_tainted = Elt.not_name sp "tainted" in
+  let tainted = Elt.of_names_up sp [ "tainted" ] in
+  {
+    qr_space = sp;
+    qr_name = "tainted";
+    qr_write = (fun _ _ -> ());
+    qr_escape =
+      (fun store ~declared q ->
+        match declared with
+        | Some qs when Cast.has_qual "untainted" qs ->
+            Solver.add_leq_vc ~reason:"trusted sink ($untainted)" store q
+              not_tainted
+        | _ -> ());
+    qr_seed =
+      (fun store c quals ->
+        if Cast.has_qual "tainted" quals then
+          Solver.add_leq_cv ~reason:"declared $tainted (source)" store tainted
+            c.Qtypes.q;
+        if Cast.has_qual "untainted" quals then
+          Solver.add_leq_vc ~reason:"declared $untainted (sink)" store
+            c.Qtypes.q not_tainted);
+  }
+
+type fentry =
+  | FMono of fsig  (** constraints link directly to these cells *)
+  | FPoly of Solver.scheme * fsig  (** instantiated per occurrence *)
+
+type env = {
+  store : Solver.t;
+  prog : Cprog.t;
+  mode : mode;
+  fields : (string, (string * cell) list) Hashtbl.t;
+  funs : (string, fentry) Hashtbl.t;
+  globals : (string, cell) Hashtbl.t;
+  rules : qrules;
+  mutable warnings : string list;
+  late_mono : (int, unit) Hashtbl.t;
+      (** variables that join the monomorphic environment after the global
+          watermark (auto-declared identifiers); never generalized *)
+  field_sharing : bool;
+      (** Section 4.2 field sharing; [false] only for the ablation study:
+          every struct access then gets fresh field cells *)
+}
+
+let warn env msg = env.warnings <- msg :: env.warnings
+
+(* declaration-qualifier seeding, per the active rule set *)
+let seed env = env.rules.qr_seed env.store
+
+(* ------------------------------------------------------------------ *)
+(* Shared struct field tables (Section 4.2)                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec field_cells env tag : (string * cell) list =
+  match Hashtbl.find_opt env.fields tag with
+  | Some fs when env.field_sharing -> fs
+  | Some _ ->
+      (* ablation: fresh cells per access site, no sharing *)
+      List.map
+        (fun (name, ft) ->
+          (name, cell_of_ctype ~name ~seed:(seed env) env.store ft))
+        (Cprog.fields env.prog tag)
+  | None ->
+      (* install a placeholder first so recursive structs terminate *)
+      Hashtbl.replace env.fields tag [];
+      let fs =
+        List.map
+          (fun (name, ft) ->
+            ( name,
+              cell_of_ctype
+                ~name:(tag ^ "." ^ name)
+                ~seed:(seed env) env.store ft ))
+          (Cprog.fields env.prog tag)
+      in
+      Hashtbl.replace env.fields tag fs;
+      fs
+
+and find_field env tag fname =
+  List.assoc_opt fname (field_cells env tag)
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  mutable locals : (string * cell) list;
+  ret : rt;  (** current function's return r-type *)
+}
+
+let lookup_var env scope x : cell option =
+  match List.assoc_opt x scope.locals with
+  | Some c -> Some c
+  | None -> Hashtbl.find_opt env.globals x
+
+(* Undeclared identifiers (K&R implicit, or benchmarks referencing symbols
+   from headers we do not have): auto-declare as an int global so repeated
+   uses alias. *)
+let auto_global env x =
+  match Hashtbl.find_opt env.globals x with
+  | Some c -> c
+  | None ->
+      let c = fresh_cell ~name:("auto_" ^ x) env.store RBase in
+      Hashtbl.replace env.globals x c;
+      Hashtbl.replace env.late_mono (Solver.var_id c.q) ();
+      c
+
+(* ------------------------------------------------------------------ *)
+(* Function interfaces                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let iface_of_fundef env (f : Cast.fundef) : fsig =
+  {
+    fs_params =
+      List.map
+        (fun (n, pt) ->
+          cell_of_param ~seed:(seed env) env.store n
+            (Cprog.expand env.prog pt))
+        f.f_params;
+    fs_ret =
+      rt_of_ctype ~seed:(seed env) env.store
+        (Cprog.expand env.prog (Cprog.decay f.f_ret));
+    fs_varargs = f.f_varargs;
+  }
+
+(* A fresh signature for an undefined (library) function, from its
+   prototype. Fresh per call site: library results never alias. *)
+let lib_sig env name : fsig option =
+  match Cprog.find_proto env.prog name with
+  | Some (TFun _ as ft) -> (
+      match rt_of_ctype ~seed:(seed env) env.store (Cprog.expand env.prog ft) with
+      | RFun s -> Some s
+      | _ -> None)
+  | _ -> None
+
+(** Apply the escape rule to every pointer level of [r]: the conservative
+    treatment of values reaching unknown code (Section 4.2). When [decl]
+    is the declared parameter type, each level's declared qualifiers are
+    passed to the rule (e.g. const-declared levels are exempt from
+    non-const forcing). *)
+let rec force_escape env ?(decl : Cast.ctype option) (r : rt) ~reason =
+  ignore reason;
+  match r with
+  | RBase | RVoid | RStruct _ -> ()
+  | RFun _ -> ()
+  | RPtr c ->
+      let target_decl =
+        match decl with
+        | Some (TPtr (t, _)) | Some (TArray (t, _, _)) -> Some t
+        | _ -> None
+      in
+      let declared = Option.map Cast.quals_of target_decl in
+      env.rules.qr_escape env.store ~declared c.q;
+      force_escape env ?decl:target_decl c.contents ~reason
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let assign_to env (c : cell) ~reason =
+  (* the (Assign') choice point: rules restrict the assigned ref *)
+  ignore reason;
+  env.rules.qr_write env.store c.q
+
+(* instantiate a defined function for one occurrence *)
+let fun_occurrence env name : fsig option =
+  match Hashtbl.find_opt env.funs name with
+  | Some (FMono s) -> Some s
+  | Some (FPoly (sch, s)) ->
+      let rn = Solver.instantiate env.store sch in
+      Some (copy_fsig rn s)
+  | None -> None
+
+let rec lvalue env scope (e : Cast.expr) : cell =
+  match e with
+  | EVar x -> (
+      match lookup_var env scope x with
+      | Some c -> c
+      | None -> (
+          match fun_occurrence env x with
+          | Some s -> fresh_cell env.store (RFun s)
+          | None -> (
+              match lib_sig env x with
+              | Some s -> fresh_cell env.store (RFun s)
+              | None -> auto_global env x)))
+  | EDeref e -> (
+      match rvalue env scope e with
+      | RPtr c -> c
+      | RFun s -> fresh_cell env.store (RFun s) (* *f on a function *)
+      | _ -> fresh_cell env.store RBase (* cast/void*: information lost *))
+  | EIndex (e, i) -> (
+      ignore (rvalue env scope i);
+      match rvalue env scope e with
+      | RPtr c -> c
+      | _ -> fresh_cell env.store RBase)
+  | EMember (e, fname) ->
+      let parent = lvalue env scope e in
+      member_cell env parent fname
+  | EArrow (e, fname) -> (
+      match rvalue env scope e with
+      | RPtr parent -> member_cell env parent fname
+      | _ -> fresh_cell env.store RBase)
+  | ECast (t, e) ->
+      ignore (rvalue env scope e);
+      cell_of_ctype ~seed:(seed env) env.store (Cprog.expand env.prog t)
+  | EComma (a, b) ->
+      ignore (rvalue env scope a);
+      lvalue env scope b
+  | _ ->
+      (* not an l-value in our subset; lose information *)
+      ignore (rvalue env scope e);
+      fresh_cell env.store RBase
+
+(* Field access through a parent cell: the field's qualifier variables are
+   shared per struct declaration; the l-value seen here is a guard cell
+   whose qualifier joins the parent's and the field's, so an assignment
+   (an upper bound ¬const) forces BOTH non-const while reads share the
+   field's contents (Section 4.2). *)
+and member_cell env (parent : cell) fname : cell =
+  match parent.contents with
+  | RStruct tag -> (
+      match find_field env tag fname with
+      | Some fc ->
+          let g = fresh_cell ~name:("access_" ^ fname) env.store fc.contents in
+          Solver.add_leq_vv ~reason:"field qualifier" env.store fc.q g.q;
+          Solver.add_leq_vv ~reason:"enclosing struct qualifier" env.store
+            parent.q g.q;
+          g
+      | None -> fresh_cell env.store RBase)
+  | _ -> fresh_cell env.store RBase
+
+and rvalue env scope (e : Cast.expr) : rt =
+  match e with
+  | EInt _ | EFloat _ | EChar _ | ESizeofT _ -> RBase
+  | ESizeofE e ->
+      ignore (rvalue env scope e);
+      RBase
+  | EString _ ->
+      (* a C89 string literal has type char[]; its cell is fresh *)
+      RPtr (fresh_cell ~name:"strlit" env.store RBase)
+  | EVar x -> (
+      (* function designators are values, not refs *)
+      match lookup_var env scope x with
+      | Some c -> c.contents
+      | None -> (
+          match fun_occurrence env x with
+          | Some s -> RFun s
+          | None -> (
+              match lib_sig env x with
+              | Some s -> RFun s
+              | None -> (auto_global env x).contents)))
+  | EUnop (_, e) ->
+      ignore (rvalue env scope e);
+      RBase
+  | EBinop (op, a, b) -> (
+      let ra = rvalue env scope a in
+      let rb = rvalue env scope b in
+      match (op, ra, rb) with
+      (* pointer arithmetic preserves the pointer *)
+      | (Add | Sub), (RPtr _ as p), _ -> p
+      | (Add | Sub), _, (RPtr _ as p) -> p
+      | _ -> RBase)
+  | EAssign (lhs, rhs) ->
+      let c = lvalue env scope lhs in
+      assign_to env c ~reason:"assignment target (Assign')";
+      let rr = rvalue env scope rhs in
+      sub ~reason:"assignment flow" env.store rr c.contents;
+      c.contents
+  | EAssignOp (_, lhs, rhs) ->
+      let c = lvalue env scope lhs in
+      assign_to env c ~reason:"compound assignment target (Assign')";
+      ignore (rvalue env scope rhs);
+      c.contents
+  | EIncDec (_, _, lhs) ->
+      let c = lvalue env scope lhs in
+      assign_to env c ~reason:"++/-- target (Assign')";
+      c.contents
+  | ECond (g, a, b) -> (
+      ignore (rvalue env scope g);
+      let ra = rvalue env scope a in
+      let rb = rvalue env scope b in
+      match (ra, rb) with
+      | RPtr c1, RPtr c2 ->
+          let r = fresh_cell ~name:"cond" env.store c1.contents in
+          Solver.add_leq_vv ~reason:"?: left" env.store c1.q r.q;
+          Solver.add_leq_vv ~reason:"?: right" env.store c2.q r.q;
+          eq_contents ~reason:"?: contents" env.store c1.contents c2.contents;
+          RPtr r
+      | (RPtr _ as p), _ | _, (RPtr _ as p) -> p (* e.g. p ? p : 0 *)
+      | ra, _ -> ra)
+  | EComma (a, b) ->
+      ignore (rvalue env scope a);
+      rvalue env scope b
+  | EAddr e -> RPtr (lvalue env scope e)
+  | EDeref _ | EIndex _ | EMember _ | EArrow _ ->
+      (lvalue env scope e).contents
+  | ECast (t, e) ->
+      (* explicit cast: evaluate for effects, then sever the association *)
+      ignore (rvalue env scope e);
+      rt_of_ctype ~seed:(seed env) env.store (Cprog.expand env.prog t)
+  | EInitList es ->
+      List.iter (fun e -> ignore (rvalue env scope e)) es;
+      RBase
+  | ECall (callee, args) -> call env scope callee args
+
+and call env scope callee args : rt =
+  let arg_rts = List.map (fun a -> rvalue env scope a) args in
+  let link_sig (s : fsig) =
+    let rec link ps rs =
+      match (ps, rs) with
+      | _, [] -> ()
+      | [], _ -> () (* extra arguments are ignored (Section 4.2) *)
+      | (p : cell) :: ps, r :: rs ->
+          sub ~reason:"argument flow" env.store r p.contents;
+          link ps rs
+    in
+    link s.fs_params arg_rts;
+    (* variadic extras and arity mismatches are ignored (Section 4.2:
+       "we simply ignore extra arguments") *)
+    s.fs_ret
+  in
+  match callee with
+  | EVar fname -> (
+      match fun_occurrence env fname with
+      | Some s -> link_sig s
+      | None -> (
+          match lib_sig env fname with
+          | Some s ->
+              (* library call: parameters not declared const are treated as
+                 non-const (Section 4.2) *)
+              let decls =
+                match Cprog.find_proto env.prog fname with
+                | Some (TFun (_, ps, _)) ->
+                    List.map (fun (_, t) -> Cprog.decay (Cprog.expand env.prog t)) ps
+                | _ -> []
+              in
+              let rec force rs ds i =
+                match rs with
+                | [] -> ()
+                | r :: rs ->
+                    (match List.nth_opt ds i with
+                    | Some d ->
+                        force_escape env ~decl:d r
+                          ~reason:("argument to library function " ^ fname)
+                    | None ->
+                        (* extra (variadic) arguments are ignored,
+                           Section 4.2 *)
+                        ());
+                    force rs ds (i + 1)
+              in
+              force arg_rts decls 0;
+              s.fs_ret
+          | None ->
+              (* no prototype at all: every pointer argument is conservative *)
+              warn env ("call to undeclared function " ^ fname);
+              List.iter
+                (fun r ->
+                  force_escape env r
+                    ~reason:("argument to undeclared function " ^ fname))
+                arg_rts;
+              RBase))
+  | _ -> (
+      (* call through an expression: function pointer *)
+      match rvalue env scope callee with
+      | RFun s -> link_sig s
+      | RPtr { contents = RFun s; _ } -> link_sig s
+      | _ ->
+          List.iter
+            (fun r ->
+              force_escape env r ~reason:"argument through unknown pointer")
+            arg_rts;
+          RBase)
+
+(* ------------------------------------------------------------------ *)
+(* Initializers and statements                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec init_into env scope (c : cell) (e : Cast.expr) =
+  match (e, c.contents) with
+  | EInitList items, RStruct tag ->
+      let fields = field_cells env tag in
+      List.iteri
+        (fun i item ->
+          match List.nth_opt fields i with
+          | Some (_, fc) -> init_into env scope fc item
+          | None -> ignore (rvalue env scope item))
+        items
+  | EInitList items, RPtr elem ->
+      (* array initializer: every item flows into the element cell *)
+      List.iter (fun item -> init_into env scope elem item) items
+  | EInitList items, _ ->
+      List.iter (fun item -> ignore (rvalue env scope item)) items
+  | e, _ ->
+      let r = rvalue env scope e in
+      sub ~reason:"initializer flow" env.store r c.contents
+
+let declare_local env scope (d : Cast.decl) =
+  let ty = Cprog.expand env.prog d.d_type in
+  let c = cell_of_ctype ~name:d.d_name ~seed:(seed env) env.store ty in
+  scope.locals <- (d.d_name, c) :: scope.locals;
+  match d.d_init with Some e -> init_into env scope c e | None -> ()
+
+let rec stmt env scope (s : Cast.stmt) =
+  match s with
+  | SExpr e -> ignore (rvalue env scope e)
+  | SDecl ds -> List.iter (declare_local env scope) ds
+  | SBlock ss ->
+      (* block scoping: restore locals on exit *)
+      let saved = scope.locals in
+      List.iter (stmt env scope) ss;
+      scope.locals <- saved
+  | SIf (g, s1, s2) ->
+      ignore (rvalue env scope g);
+      stmt env scope s1;
+      Option.iter (stmt env scope) s2
+  | SWhile (g, b) ->
+      ignore (rvalue env scope g);
+      stmt env scope b
+  | SDoWhile (b, g) ->
+      stmt env scope b;
+      ignore (rvalue env scope g)
+  | SFor (init, cond, step, body) ->
+      let saved = scope.locals in
+      Option.iter (stmt env scope) init;
+      Option.iter (fun e -> ignore (rvalue env scope e)) cond;
+      Option.iter (fun e -> ignore (rvalue env scope e)) step;
+      stmt env scope body;
+      scope.locals <- saved
+  | SReturn (Some e) ->
+      let r = rvalue env scope e in
+      sub ~reason:"return flow" env.store r scope.ret
+  | SReturn None | SBreak | SContinue | SGoto _ | SNull -> ()
+  | SSwitch (g, b) ->
+      ignore (rvalue env scope g);
+      stmt env scope b
+  | SCase (g, b) ->
+      ignore (rvalue env scope g);
+      stmt env scope b
+  | SDefault b | SLabel (_, b) -> stmt env scope b
+
+let analyze_body env (f : Cast.fundef) (iface : fsig) =
+  let scope =
+    {
+      locals = List.map2 (fun (n, _) c -> (n, c)) f.f_params iface.fs_params;
+      ret = iface.fs_ret;
+    }
+  in
+  List.iter (stmt env scope) f.f_body
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program drivers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_env ?(rules = const_rules) ?(field_sharing = true) mode
+    (prog : Cprog.t) : env =
+  let store = Solver.create rules.qr_space in
+  {
+    store;
+    prog;
+    mode;
+    fields = Hashtbl.create 16;
+    funs = Hashtbl.create 64;
+    globals = Hashtbl.create 64;
+    rules;
+    warnings = [];
+    late_mono = Hashtbl.create 16;
+    field_sharing;
+  }
+
+(* Global variables and struct tables are part of the monomorphic
+   environment: build them eagerly so scheme generalization can exclude
+   their variables by creation time. *)
+let build_global_env env =
+  List.iter
+    (fun (d : Cast.decl) ->
+      let ty = Cprog.expand env.prog d.d_type in
+      Hashtbl.replace env.globals d.d_name
+        (cell_of_ctype ~name:d.d_name ~seed:(seed env) env.store ty))
+    (Cprog.global_vars env.prog);
+  Hashtbl.iter (fun tag _ -> ignore (field_cells env tag)) env.prog.Cprog.comps
+
+let analyze_global_inits env =
+  let scope = { locals = []; ret = RBase } in
+  List.iter
+    (fun (d : Cast.decl) ->
+      match d.d_init with
+      | Some e -> (
+          match Hashtbl.find_opt env.globals d.d_name with
+          | Some c -> init_into env scope c e
+          | None -> ())
+      | None -> ())
+    (Cprog.global_vars env.prog)
+
+(** Monomorphic const inference (the "Mono" column of Table 2). *)
+let run_mono ?rules ?field_sharing (prog : Cprog.t) :
+    env * (string * fsig) list =
+  let env = make_env ?rules ?field_sharing Mono prog in
+  build_global_env env;
+  let funs = Cprog.functions prog in
+  (* pass 1: interfaces, so calls in any order link directly *)
+  let ifaces =
+    List.map
+      (fun f ->
+        let s = iface_of_fundef env f in
+        Hashtbl.replace env.funs f.Cast.f_name (FMono s);
+        (f.Cast.f_name, s))
+      funs
+  in
+  (* pass 2: bodies *)
+  List.iter
+    (fun (f : Cast.fundef) ->
+      match Hashtbl.find env.funs f.f_name with
+      | FMono s -> analyze_body env f s
+      | FPoly _ -> assert false)
+    funs;
+  analyze_global_inits env;
+  (env, ifaces)
+
+(* Generalize an SCC's captured constraints: every variable mentioned
+   that is not part of the monomorphic global environment becomes a scheme
+   local (Section 4.3). *)
+let generalize_scc env ~global_watermark atoms
+    (scc_ifaces : (Cast.fundef * fsig) list) : Solver.scheme =
+  let seen = Hashtbl.create 64 in
+  let locals = ref [] in
+  let consider v =
+    let id = Solver.var_id v in
+    if
+      id >= global_watermark
+      && (not (Hashtbl.mem env.late_mono id))
+      && not (Hashtbl.mem seen id)
+    then begin
+      Hashtbl.add seen id ();
+      locals := v :: !locals
+    end
+  in
+  List.iter
+    (function
+      | Solver.Avc (v, _, _, _) | Solver.Acv (_, v, _, _) -> consider v
+      | Solver.Avv (a, b, _, _) ->
+          consider a;
+          consider b)
+    atoms;
+  List.iter (fun (_, s) -> List.iter consider (rt_qvars (RFun s))) scc_ifaces;
+  Solver.make_scheme ~locals:!locals ~atoms
+
+(* A deterministic bounds summary of an interface, used as the
+   convergence criterion for polymorphic recursion: the (lo, hi) vector is
+   structural, so two rounds can be compared even though their variables
+   differ. [bounds] maps a variable id to its (lo, hi) pair, typically
+   {!Solver.solve_atoms} over the scheme's own atoms — no global solve. *)
+let summarize_iface bounds (s : fsig) : (Elt.t * Elt.t) list =
+  let acc = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec go_rt = function
+    | RBase | RVoid | RStruct _ -> ()
+    | RPtr c -> go_cell c
+    | RFun f ->
+        List.iter go_cell f.fs_params;
+        go_rt f.fs_ret
+  and go_cell c =
+    if not (Hashtbl.mem seen (Solver.var_id c.q)) then begin
+      Hashtbl.add seen (Solver.var_id c.q) ();
+      acc := bounds (Solver.var_id c.q) :: !acc;
+      go_rt c.contents
+    end
+  in
+  go_rt (RFun s);
+  List.rev !acc
+
+(** Polymorphic const inference (Section 4.3, the "Poly" column): SCCs of
+    the FDG processed callees-first; each SCC's constraints are captured
+    and generalized into one scheme shared by its members. *)
+let run_poly ?rules ?field_sharing ?(simplify = false) (prog : Cprog.t) :
+    env * (string * fsig) list =
+  let env = make_env ?rules ?field_sharing Poly prog in
+  build_global_env env;
+  (* variables created so far (globals, struct fields) are monomorphic *)
+  let global_watermark = Solver.num_vars env.store in
+  let fdg = Fdg.build prog in
+  let ifaces = ref [] in
+  List.iter
+    (fun scc ->
+      let members =
+        List.filter_map (fun name -> Cprog.find_fun prog name) scc
+      in
+      let scc_ifaces, atoms =
+        Solver.recording env.store (fun () ->
+            (* interfaces first: mutual recursion links directly *)
+            let is =
+              List.map
+                (fun (f : Cast.fundef) ->
+                  let s = iface_of_fundef env f in
+                  Hashtbl.replace env.funs f.f_name (FMono s);
+                  (f, s))
+                members
+            in
+            List.iter (fun (f, s) -> analyze_body env f s) is;
+            is)
+      in
+      let sch = generalize_scc env ~global_watermark atoms scc_ifaces in
+      let sch =
+        if simplify then
+          Solver.simplify_scheme env.store
+            ~interface:
+              (List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces)
+            sch
+        else sch
+      in
+      List.iter
+        (fun ((f : Cast.fundef), s) ->
+          Hashtbl.replace env.funs f.f_name (FPoly (sch, s));
+          ifaces := (f.f_name, s) :: !ifaces)
+        scc_ifaces)
+    fdg.Fdg.sccs;
+  analyze_global_inits env;
+  (env, List.rev !ifaces)
+
+(** Polymorphic recursion: like {!run_poly}, but recursive calls within
+    an SCC are themselves polymorphic. Each SCC is re-analyzed with the
+    previous iteration's schemes used for in-SCC calls — starting from the
+    most general (unconstrained) summaries — until the interface verdicts
+    reach a fixed point. Termination: the summaries form a finite domain
+    and the iteration is capped (the cap is never reached in practice;
+    the fixed point typically arrives by the second round). *)
+let run_polyrec ?rules ?field_sharing (prog : Cprog.t) :
+    env * (string * fsig) list =
+  let env = make_env ?rules ?field_sharing Polyrec prog in
+  build_global_env env;
+  let global_watermark = Solver.num_vars env.store in
+  let fdg = Fdg.build prog in
+  let ifaces = ref [] in
+  let max_rounds = 6 in
+  let is_recursive scc =
+    match scc with
+    | [ f ] -> (
+        (* the FDG filters self-edges; detect direct recursion from the
+           body's own mentions *)
+        match Cprog.find_fun prog f with
+        | Some fd -> List.mem f (Fdg.mentions fd)
+        | None -> false)
+    | _ -> true
+  in
+  List.iter
+    (fun scc ->
+      let members =
+        List.filter_map (fun name -> Cprog.find_fun prog name) scc
+      in
+      let process_round () =
+        Solver.recording env.store (fun () ->
+            let is =
+              List.map
+                (fun (f : Cast.fundef) -> (f, iface_of_fundef env f))
+                members
+            in
+            List.iter (fun (f, s) -> analyze_body env f s) is;
+            is)
+      in
+      let finish scc_ifaces atoms =
+        let sch = generalize_scc env ~global_watermark atoms scc_ifaces in
+        let sch =
+          Solver.simplify_scheme env.store
+            ~interface:
+              (List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces)
+            sch
+        in
+        List.iter
+          (fun ((f : Cast.fundef), s) ->
+            Hashtbl.replace env.funs f.f_name (FPoly (sch, s)))
+          scc_ifaces;
+        sch
+      in
+      let final =
+        if not (is_recursive scc) then begin
+          (* non-recursive: identical to plain per-SCC polymorphism, but
+             members must be callable monomorphically while their own
+             bodies are analyzed *)
+          let scc_ifaces, atoms =
+            Solver.recording env.store (fun () ->
+                let is =
+                  List.map
+                    (fun (f : Cast.fundef) ->
+                      let s = iface_of_fundef env f in
+                      Hashtbl.replace env.funs f.f_name (FMono s);
+                      (f, s))
+                    members
+                in
+                List.iter (fun (f, s) -> analyze_body env f s) is;
+                is)
+          in
+          ignore (finish scc_ifaces atoms);
+          scc_ifaces
+        end
+        else begin
+          (* round 0: most general summaries — unconstrained skeletons *)
+          List.iter
+            (fun (f : Cast.fundef) ->
+              let sk = iface_of_fundef env f in
+              let sch0 =
+                Solver.make_scheme ~locals:(rt_qvars (RFun sk)) ~atoms:[]
+              in
+              Hashtbl.replace env.funs f.f_name (FPoly (sch0, sk)))
+            members;
+          let rec iterate prev_summaries round =
+            (* bodies analyzed against the PREVIOUS round's schemes:
+               in-SCC calls instantiate polymorphically *)
+            let scc_ifaces, atoms = process_round () in
+            let sch = finish scc_ifaces atoms in
+            let bounds =
+              Solver.solve_atoms (Solver.space env.store)
+                (Solver.scheme_atoms sch)
+            in
+            let summaries =
+              List.map (fun (_, s) -> summarize_iface bounds s) scc_ifaces
+            in
+            if summaries = prev_summaries || round >= max_rounds then
+              scc_ifaces
+            else iterate summaries (round + 1)
+          in
+          iterate [] 1
+        end
+      in
+      List.iter
+        (fun ((f : Cast.fundef), s) -> ifaces := (f.f_name, s) :: !ifaces)
+        final)
+    fdg.Fdg.sccs;
+  analyze_global_inits env;
+  (env, List.rev !ifaces)
+
+let run ?rules ?field_sharing ?simplify mode prog =
+  match mode with
+  | Mono -> run_mono ?rules ?field_sharing prog
+  | Poly -> run_poly ?rules ?field_sharing ?simplify prog
+  | Polyrec -> run_polyrec ?rules ?field_sharing prog

@@ -1,0 +1,82 @@
+(** End-to-end const inference: parse, analyze (mono and/or poly), measure.
+    This is the pipeline Table 2 and Figure 6 are produced from. *)
+
+type timing = {
+  t_compile : float;  (** parse + table construction, seconds *)
+  t_analysis : float;  (** constraint generation + solving *)
+}
+
+type run = {
+  results : Report.results;
+  timing : timing;
+  lines : int;
+  n_functions : int;
+  n_constraints : int;  (** number of qualifier variables, a proxy for size *)
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+exception Error of string
+
+let compile src =
+  match Cfront.Cparse.parse_program_result src with
+  | Error m -> raise (Error m)
+  | Ok p -> Cfront.Cprog.build p
+
+let analyze ?rules ?field_sharing ?simplify mode prog =
+  let (env, ifaces), t =
+    time (fun () -> Analysis.run ?rules ?field_sharing ?simplify mode prog)
+  in
+  let results, t2 = time (fun () -> Report.measure env ifaces) in
+  (env, results, t +. t2)
+
+(** Run one mode on C source. *)
+let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
+    (src : string) : run =
+  let prog, t_compile = time (fun () -> compile src) in
+  let env, results, t_analysis =
+    analyze ?rules ?field_sharing ?simplify mode prog
+  in
+  {
+    results;
+    timing = { t_compile; t_analysis };
+    lines = Cfront.Cprog.count_lines src;
+    n_functions = List.length (Cfront.Cprog.functions prog);
+    n_constraints = Typequal.Solver.num_vars env.Analysis.store;
+  }
+
+(** Run both modes, reusing the parse: one row of Table 2. *)
+type row = {
+  name : string;
+  r_lines : int;
+  compile_s : float;
+  mono_s : float;
+  poly_s : float;
+  declared : int;
+  mono : int;
+  poly : int;
+  total : int;
+  mono_results : Report.results;
+  poly_results : Report.results;
+}
+
+let table2_row ~name (src : string) : row =
+  let prog, t_compile = time (fun () -> compile src) in
+  let _, mono_results, mono_s = analyze Analysis.Mono prog in
+  let _, poly_results, poly_s = analyze Analysis.Poly prog in
+  {
+    name;
+    r_lines = Cfront.Cprog.count_lines src;
+    compile_s = t_compile;
+    mono_s;
+    poly_s;
+    declared = mono_results.Report.declared;
+    mono = mono_results.Report.possible;
+    poly = poly_results.Report.possible;
+    total = mono_results.Report.total;
+    mono_results;
+    poly_results;
+  }

@@ -1,0 +1,131 @@
+(** Measurement of const-inference results (Section 4.4).
+
+    "Interesting" const positions are the pointer levels of the arguments
+    and results of {e defined} functions: [int foo(int x, int *y)] has one
+    interesting location — the contents of [y], which is itself a ref. For
+    every interesting position the analysis decides that the ref (1) must
+    be const, (2) must not be const, or (3) could be either; the number of
+    {e possible} consts is (1) + (3), which is what the Mono and Poly
+    columns of Table 2 count. Removing a source const merely moves a
+    position from (1) to (3), so the possible count does not depend on the
+    source annotations. *)
+
+module Solver = Typequal.Solver
+open Cfront
+open Qtypes
+
+type where = Param of int * string | Ret
+
+type position = {
+  p_fun : string;
+  p_where : where;
+  p_level : int;  (** 1 = contents of the pointer itself *)
+  p_var : Solver.var;
+  p_declared : bool;  (** const written in the source at this level *)
+}
+
+type verdict = Must_const | Must_not_const | Either
+
+type results = {
+  positions : (position * verdict) list;
+  declared : int;  (** the "Declared" column *)
+  possible : int;  (** the "Mono"/"Poly" column: (1) + (3) *)
+  must : int;  (** class (1) *)
+  total : int;  (** the "Total possible" column *)
+  type_errors : int;  (** unsatisfiable constraints (0 for correct C) *)
+  warnings : string list;
+}
+
+(* Walk the declared C type and the translated r-type in parallel,
+   collecting one position per pointer level. *)
+let positions_of_rt ?(qual = "const") ~fname ~where prog
+    (decl_ty : Cast.ctype) (r : rt) : position list =
+  let rec go level decl_ty r acc =
+    match (decl_ty, r) with
+    | (Cast.TPtr (target, _) | Cast.TArray (target, _, _)), RPtr c ->
+        let pos =
+          {
+            p_fun = fname;
+            p_where = where;
+            p_level = level;
+            p_var = c.q;
+            p_declared = Cast.has_qual qual (Cast.quals_of target);
+          }
+        in
+        go (level + 1) target c.contents (pos :: acc)
+    | _ -> List.rev acc
+  in
+  go 1 (Cprog.decay (Cprog.expand prog decl_ty)) r []
+
+let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
+    position list =
+  let params =
+    List.concat
+      (List.map2
+         (fun (i, (pname, pty)) (c : cell) ->
+           positions_of_rt ?qual ~fname:f.f_name ~where:(Param (i, pname))
+             prog pty c.contents)
+         (List.mapi (fun i p -> (i, p)) f.f_params)
+         iface.fs_params)
+  in
+  let ret =
+    positions_of_rt ?qual ~fname:f.f_name ~where:Ret prog f.f_ret
+      iface.fs_ret
+  in
+  params @ ret
+
+(** Classify every interesting position after solving. *)
+let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
+  let store = env.Analysis.store in
+  let type_errors =
+    match Solver.solve store with Ok () -> 0 | Error es -> List.length es
+  in
+  let qual = env.Analysis.rules.Analysis.qr_name in
+  let positions =
+    List.concat_map
+      (fun (name, iface) ->
+        match Cprog.find_fun env.Analysis.prog name with
+        | Some f -> positions_of_fun ~qual env.Analysis.prog f iface
+        | None -> [])
+      ifaces
+  in
+  let classified =
+    List.map
+      (fun p ->
+        let v =
+          match Solver.classify_name store p.p_var qual with
+          | Solver.Forced_up -> Must_const
+          | Solver.Forced_down -> Must_not_const
+          | Solver.Free -> Either
+        in
+        (p, v))
+      positions
+  in
+  let count f = List.length (List.filter f classified) in
+  {
+    positions = classified;
+    declared = count (fun (p, _) -> p.p_declared);
+    possible = count (fun (_, v) -> v <> Must_not_const);
+    must = count (fun (_, v) -> v = Must_const);
+    total = List.length classified;
+    type_errors;
+    warnings = env.Analysis.warnings;
+  }
+
+let pp_where ppf = function
+  | Param (i, name) -> Fmt.pf ppf "param %d (%s)" i name
+  | Ret -> Fmt.string ppf "return"
+
+let pp_verdict ppf = function
+  | Must_const -> Fmt.string ppf "must-const"
+  | Must_not_const -> Fmt.string ppf "non-const"
+  | Either -> Fmt.string ppf "could-be-const"
+
+let pp_position ppf ((p, v) : position * verdict) =
+  Fmt.pf ppf "%s: %a level %d%s: %a" p.p_fun pp_where p.p_where p.p_level
+    (if p.p_declared then " [declared const]" else "")
+    pp_verdict v
+
+let pp_results ppf (r : results) =
+  Fmt.pf ppf "declared=%d inferred-possible=%d must=%d total=%d errors=%d"
+    r.declared r.possible r.must r.total r.type_errors

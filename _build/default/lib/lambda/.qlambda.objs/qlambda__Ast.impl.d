@@ -1,0 +1,1 @@
+lib/lambda/ast.ml: Fmt List String

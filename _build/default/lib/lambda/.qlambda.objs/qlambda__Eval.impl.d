@@ -1,0 +1,1 @@
+lib/lambda/eval.ml: Ast Fmt Hashtbl Infer List String Typequal

@@ -1,0 +1,1 @@
+lib/lambda/infer.ml: Ast Hashtbl List Qtype Stype Typequal

@@ -1,0 +1,1 @@
+lib/lambda/parse.ml: Ast Fmt List String

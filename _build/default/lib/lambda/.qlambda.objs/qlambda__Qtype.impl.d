@@ -1,0 +1,1 @@
+lib/lambda/qtype.ml: Fmt Hashtbl Stype Typequal

@@ -1,0 +1,1 @@
+lib/lambda/rules.ml: Infer Qtype Typequal

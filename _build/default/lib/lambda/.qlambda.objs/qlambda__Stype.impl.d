@@ -1,0 +1,1 @@
+lib/lambda/stype.ml: Ast Fmt List

@@ -1,0 +1,116 @@
+(** Abstract syntax of the paper's example language (Figure 1, extended with
+    updateable references and unit in Section 2.4, and with qualifier
+    annotations [l e] and assertions [e|l] from Section 2.2).
+
+    We additionally provide integer primitives (arithmetic, comparison,
+    division) so that qualifiers like [nonzero] have an operation whose
+    semantics they guard; the paper's language has no primitives, and these
+    are a conservative extension (each is a delta-rule on integers). *)
+
+type binop = Add | Sub | Mul | Div | Lt | Eq
+
+(** A qualifier specification, as written in source: a list of
+    [(name, present)] pairs. [(q, true)] is written [q]; [(q, false)] is
+    written [~q]. Annotations interpret the spec {e upward from bottom}
+    (listed coordinates overridden, others at their sub-lattice bottom);
+    assertion bounds interpret it {e downward from top}. This follows the
+    paper: an annotation constant is "at least" the listed qualifiers and an
+    assertion bound pins only the qualifiers the programmer mentions. *)
+type qspec = (string * bool) list
+
+type expr =
+  | Var of string
+  | Int of int
+  | Unit
+  | Lam of string * expr
+  | App of expr * expr
+  | If of expr * expr * expr  (** 0 is false, non-zero true (C convention) *)
+  | Let of string * expr * expr
+  | Ref of expr
+  | Deref of expr
+  | Assign of expr * expr
+  | Annot of qspec * expr  (** [l e]: raise the top-level qualifier to [l] *)
+  | Assert of expr * qspec  (** [e|l]: check the top-level qualifier <= [l] *)
+  | Binop of binop * expr * expr
+
+(** [is_value e] per the paper's syntactic value class [v] (Figure 1):
+    variables, integers, abstractions, unit — and, following the runtime
+    value form of Figure 5, a qualifier-annotated value. Only syntactic
+    values may be generalized by (Letv) (the value restriction,
+    Section 3.2). *)
+let rec is_value = function
+  | Var _ | Int _ | Unit | Lam _ -> true
+  | Annot (_, e) -> is_value e
+  | _ -> false
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Div -> "/"
+    | Lt -> "<"
+    | Eq -> "==")
+
+let pp_qspec ppf (spec : qspec) =
+  let item ppf (n, b) = Fmt.pf ppf "%s%s" (if b then "" else "~") n in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:sp item) spec
+
+let rec pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Int n -> Fmt.int ppf n
+  | Unit -> Fmt.string ppf "()"
+  | Lam (x, e) -> Fmt.pf ppf "(fun %s -> %a)" x pp e
+  | App (e1, e2) -> Fmt.pf ppf "(%a %a)" pp e1 pp e2
+  | If (e1, e2, e3) ->
+      Fmt.pf ppf "(if %a then %a else %a)" pp e1 pp e2 pp e3
+  | Let (x, e1, e2) -> Fmt.pf ppf "(let %s = %a in %a)" x pp e1 pp e2
+  | Ref e -> Fmt.pf ppf "(ref %a)" pp e
+  | Deref e -> Fmt.pf ppf "(!%a)" pp e
+  | Assign (e1, e2) -> Fmt.pf ppf "(%a := %a)" pp e1 pp e2
+  | Annot (spec, e) -> Fmt.pf ppf "(@@%a %a)" pp_qspec spec pp e
+  | Assert (e, spec) -> Fmt.pf ppf "(%a |%a)" pp e pp_qspec spec
+  | Binop (op, e1, e2) ->
+      Fmt.pf ppf "(%a %a %a)" pp e1 pp_binop op pp e2
+
+let to_string e = Fmt.str "%a" pp e
+
+(** [strip e]: remove every qualifier annotation and assertion, yielding a
+    term of the unqualified language (the [strip] translation of
+    Section 2.3, used by Observation 1). *)
+let rec strip = function
+  | (Var _ | Int _ | Unit) as e -> e
+  | Lam (x, e) -> Lam (x, strip e)
+  | App (e1, e2) -> App (strip e1, strip e2)
+  | If (e1, e2, e3) -> If (strip e1, strip e2, strip e3)
+  | Let (x, e1, e2) -> Let (x, strip e1, strip e2)
+  | Ref e -> Ref (strip e)
+  | Deref e -> Deref (strip e)
+  | Assign (e1, e2) -> Assign (strip e1, strip e2)
+  | Annot (_, e) -> strip e
+  | Assert (e, _) -> strip e
+  | Binop (op, e1, e2) -> Binop (op, strip e1, strip e2)
+
+(** Size of a term (number of AST nodes), used by tests and benches. *)
+let rec size = function
+  | Var _ | Int _ | Unit -> 1
+  | Lam (_, e) | Ref e | Deref e | Annot (_, e) | Assert (e, _) ->
+      1 + size e
+  | App (e1, e2) | Assign (e1, e2) | Binop (_, e1, e2) | Let (_, e1, e2) ->
+      1 + size e1 + size e2
+  | If (e1, e2, e3) -> 1 + size e1 + size e2 + size e3
+
+(** Free program variables. *)
+let free_vars e =
+  let rec go bound acc = function
+    | Var x -> if List.mem x bound then acc else x :: acc
+    | Int _ | Unit -> acc
+    | Lam (x, e) -> go (x :: bound) acc e
+    | App (e1, e2) | Assign (e1, e2) | Binop (_, e1, e2) ->
+        go bound (go bound acc e1) e2
+    | If (e1, e2, e3) -> go bound (go bound (go bound acc e1) e2) e3
+    | Let (x, e1, e2) -> go (x :: bound) (go bound acc e1) e2
+    | Ref e | Deref e | Annot (_, e) | Assert (e, _) -> go bound acc e
+  in
+  List.sort_uniq String.compare (go [] [] e)

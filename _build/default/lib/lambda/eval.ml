@@ -1,0 +1,240 @@
+(** Small-step operational semantics of the example language (Figure 5).
+
+    The semantics assumes all values are qualified: a semantic value is a
+    ground qualifier constant paired with a syntactic value [(l v)]. A
+    source program is compiled to this form by inserting bottom annotations
+    around every syntactic value ("a program can always be rewritten in
+    this form", Section 3.3). Qualifier annotations and assertions are
+    checked {e dynamically} here: [(l2 v)|l1 -> l2 v] only when [l2 <= l1],
+    and likewise for annotation collapse. A well-typed program never gets
+    stuck on these checks — the subject-reduction property the tests
+    exercise. *)
+
+module Elt = Typequal.Lattice.Elt
+module Space = Typequal.Lattice.Space
+
+type loc = int
+
+(** Runtime expressions: source expressions with elaborated (ground)
+    qualifier constants and store locations. *)
+type rexpr =
+  | RVar of string
+  | RInt of int
+  | RUnit
+  | RLam of string * rexpr
+  | RLoc of loc
+  | RApp of rexpr * rexpr
+  | RIf of rexpr * rexpr * rexpr
+  | RLet of string * rexpr * rexpr
+  | RRef of rexpr
+  | RDeref of rexpr
+  | RAssign of rexpr * rexpr
+  | RAnnot of Elt.t * rexpr  (** [l e] *)
+  | RAssert of rexpr * Elt.t  (** [e|l] *)
+  | RBinop of Ast.binop * rexpr * rexpr
+
+type store = (loc, rexpr) Hashtbl.t
+(** maps locations to semantic values (always [RAnnot (l, v)]) *)
+
+type stuck_reason =
+  | Assertion_failure of Elt.t * Elt.t  (** value qualifier, bound *)
+  | Annotation_failure of Elt.t * Elt.t
+  | Division_by_zero
+  | Ill_formed of string  (** e.g. applying a non-function *)
+
+exception Stuck of stuck_reason
+
+let pp_stuck sp ppf = function
+  | Assertion_failure (l2, l1) ->
+      Fmt.pf ppf "assertion failed: %a is not <= %a" (Elt.pp_full sp) l2
+        (Elt.pp_full sp) l1
+  | Annotation_failure (l2, l1) ->
+      Fmt.pf ppf "annotation failed: %a is not <= %a" (Elt.pp_full sp) l2
+        (Elt.pp_full sp) l1
+  | Division_by_zero -> Fmt.string ppf "division by zero"
+  | Ill_formed msg -> Fmt.pf ppf "stuck: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: elaborate qualifier specs, bottom-annotate values      *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile sp (e : Ast.expr) : rexpr =
+  let bot = Elt.bottom sp in
+  match e with
+  | Var x -> RVar x (* variables are replaced by annotated values *)
+  | Int n -> RAnnot (bot, RInt n)
+  | Unit -> RAnnot (bot, RUnit)
+  | Lam (x, e) -> RAnnot (bot, RLam (x, compile sp e))
+  | App (e1, e2) -> RApp (compile sp e1, compile sp e2)
+  | If (e1, e2, e3) -> RIf (compile sp e1, compile sp e2, compile sp e3)
+  | Let (x, e1, e2) -> RLet (x, compile sp e1, compile sp e2)
+  | Ref e -> RAnnot (bot, RRef (compile sp e))
+  | Deref e -> RDeref (compile sp e)
+  | Assign (e1, e2) -> RAssign (compile sp e1, compile sp e2)
+  | Annot (spec, e) -> RAnnot (Infer.annot_elt sp spec, compile sp e)
+  | Assert (e, spec) -> RAssert (compile sp e, Infer.assert_elt sp spec)
+  | Binop (op, e1, e2) -> RBinop (op, compile sp e1, compile sp e2)
+
+(* A semantic value is an annotated syntactic value. *)
+let is_syntactic_value = function
+  | RInt _ | RUnit | RLam _ | RLoc _ -> true
+  | _ -> false
+
+let is_value = function
+  | RAnnot (_, v) -> is_syntactic_value v
+  | _ -> false
+
+(* Capture-avoiding substitution is unnecessary: substituted values are
+   closed (we evaluate closed programs, and the reduction strategy only
+   substitutes values that are themselves closed at substitution time);
+   we still rename nothing and rely on shadowing semantics matching the
+   paper's implicit convention. *)
+let rec subst x v e =
+  match e with
+  | RVar y -> if String.equal x y then v else e
+  | RInt _ | RUnit | RLoc _ -> e
+  | RLam (y, body) -> if String.equal x y then e else RLam (y, subst x v body)
+  | RApp (e1, e2) -> RApp (subst x v e1, subst x v e2)
+  | RIf (e1, e2, e3) -> RIf (subst x v e1, subst x v e2, subst x v e3)
+  | RLet (y, e1, e2) ->
+      RLet (y, subst x v e1, if String.equal x y then e2 else subst x v e2)
+  | RRef e -> RRef (subst x v e)
+  | RDeref e -> RDeref (subst x v e)
+  | RAssign (e1, e2) -> RAssign (subst x v e1, subst x v e2)
+  | RAnnot (l, e) -> RAnnot (l, subst x v e)
+  | RAssert (e, l) -> RAssert (subst x v e, l)
+  | RBinop (op, e1, e2) -> RBinop (op, subst x v e1, subst x v e2)
+
+(* ------------------------------------------------------------------ *)
+(* One-step reduction (Figure 5, with contexts folded in recursively)  *)
+(* ------------------------------------------------------------------ *)
+
+type state = { sp : Space.t; store : store; mutable next_loc : loc }
+
+let alloc st v =
+  let a = st.next_loc in
+  st.next_loc <- a + 1;
+  Hashtbl.replace st.store a v;
+  RLoc a
+
+let delta op n1 n2 =
+  match op with
+  | Ast.Add -> n1 + n2
+  | Ast.Sub -> n1 - n2
+  | Ast.Mul -> n1 * n2
+  | Ast.Div -> if n2 = 0 then raise (Stuck Division_by_zero) else n1 / n2
+  | Ast.Lt -> if n1 < n2 then 1 else 0
+  | Ast.Eq -> if n1 = n2 then 1 else 0
+
+(** One reduction step. Raises {!Stuck} when no rule applies and the
+    expression is not a value. *)
+let rec step st (e : rexpr) : rexpr =
+  let sp = st.sp in
+  match e with
+  | RAnnot (l1, RAnnot (l2, v)) when is_syntactic_value v ->
+      (* annotation collapse: l1 (l2 v) -> l1 v when l2 <= l1 *)
+      if Elt.leq sp l2 l1 then RAnnot (l1, v)
+      else raise (Stuck (Annotation_failure (l2, l1)))
+  | RAnnot (l, RRef e) ->
+      (* context Q ref R, then l ref v -> store alloc, l a *)
+      if is_value e then RAnnot (l, alloc st e) else RAnnot (l, RRef (step st e))
+  | RAnnot (l, e) when not (is_syntactic_value e) -> RAnnot (l, step st e)
+  | RAssert (RAnnot (l2, v), l1) when is_syntactic_value v ->
+      if Elt.leq sp l2 l1 then RAnnot (l2, v)
+      else raise (Stuck (Assertion_failure (l2, l1)))
+  | RAssert (e, l1) -> RAssert (step st e, l1)
+  | RApp (f, arg) when is_value f -> (
+      if not (is_value arg) then RApp (f, step st arg)
+      else
+        match f with
+        | RAnnot (_, RLam (x, body)) -> subst x arg body
+        | _ -> raise (Stuck (Ill_formed "application of a non-function")))
+  | RApp (f, arg) -> RApp (step st f, arg)
+  | RIf (g, e2, e3) when is_value g -> (
+      match g with
+      | RAnnot (_, RInt n) -> if n <> 0 then e2 else e3
+      | _ -> raise (Stuck (Ill_formed "if guard is not an integer")))
+  | RIf (g, e2, e3) -> RIf (step st g, e2, e3)
+  | RLet (x, e1, e2) when is_value e1 -> subst x e1 e2
+  | RLet (x, e1, e2) -> RLet (x, step st e1, e2)
+  | RDeref v when is_value v -> (
+      match v with
+      | RAnnot (_, RLoc a) -> (
+          match Hashtbl.find_opt st.store a with
+          | Some sv -> sv
+          | None -> raise (Stuck (Ill_formed "dangling location")))
+      | _ -> raise (Stuck (Ill_formed "dereference of a non-location")))
+  | RDeref e -> RDeref (step st e)
+  | RAssign (lhs, rhs) when is_value lhs -> (
+      if not (is_value rhs) then RAssign (lhs, step st rhs)
+      else
+        match lhs with
+        | RAnnot (_, RLoc a) ->
+            if not (Hashtbl.mem st.store a) then
+              raise (Stuck (Ill_formed "dangling location"))
+            else begin
+              Hashtbl.replace st.store a rhs;
+              RAnnot (Elt.bottom sp, RUnit)
+            end
+        | _ -> raise (Stuck (Ill_formed "assignment to a non-location")))
+  | RAssign (lhs, rhs) -> RAssign (step st lhs, rhs)
+  | RBinop (op, e1, e2) when is_value e1 -> (
+      if not (is_value e2) then RBinop (op, e1, step st e2)
+      else
+        match (e1, e2) with
+        | RAnnot (_, RInt n1), RAnnot (_, RInt n2) ->
+            RAnnot (Elt.bottom sp, RInt (delta op n1 n2))
+        | _ -> raise (Stuck (Ill_formed "arithmetic on non-integers")))
+  | RBinop (op, e1, e2) -> RBinop (op, step st e1, e2)
+  | RVar x -> raise (Stuck (Ill_formed ("unbound variable " ^ x)))
+  | RAnnot _ -> raise (Stuck (Ill_formed "value does not reduce"))
+  | RInt _ | RUnit | RLam _ | RLoc _ | RRef _ ->
+      (* compile always wraps values and ref in an annotation *)
+      raise (Stuck (Ill_formed "unannotated value (internal)"))
+
+type outcome =
+  | Value of Elt.t * rexpr  (** final qualifier constant and syntactic value *)
+  | Stuck_at of stuck_reason
+  | Out_of_fuel
+
+(** Run to completion (or until [fuel] steps have been taken). *)
+let run ?(fuel = 100_000) sp (e : Ast.expr) : outcome =
+  let st = { sp; store = Hashtbl.create 16; next_loc = 0 } in
+  let rec loop fuel e =
+    if is_value e then
+      match e with
+      | RAnnot (l, v) -> Value (l, v)
+      | _ -> assert false
+    else if fuel = 0 then Out_of_fuel
+    else
+      match step st e with
+      | e' -> loop (fuel - 1) e'
+      | exception Stuck r -> Stuck_at r
+  in
+  loop fuel (compile sp e)
+
+(** Run with access to the whole trace, for subject-reduction tests. *)
+let trace ?(fuel = 10_000) sp (e : Ast.expr) : rexpr list * outcome =
+  let st = { sp; store = Hashtbl.create 16; next_loc = 0 } in
+  let acc = ref [] in
+  let rec loop fuel e =
+    acc := e :: !acc;
+    if is_value e then
+      match e with RAnnot (l, v) -> Value (l, v) | _ -> assert false
+    else if fuel = 0 then Out_of_fuel
+    else
+      match step st e with
+      | e' -> loop (fuel - 1) e'
+      | exception Stuck r -> Stuck_at r
+  in
+  let out = loop fuel (compile sp e) in
+  (List.rev !acc, out)
+
+let pp_outcome sp ppf = function
+  | Value (l, RInt n) -> Fmt.pf ppf "%a %d" (Elt.pp sp) l n
+  | Value (l, RUnit) -> Fmt.pf ppf "%a ()" (Elt.pp sp) l
+  | Value (l, RLam _) -> Fmt.pf ppf "%a <fun>" (Elt.pp sp) l
+  | Value (l, RLoc a) -> Fmt.pf ppf "%a <loc %d>" (Elt.pp sp) l a
+  | Value _ -> Fmt.string ppf "<value>"
+  | Stuck_at r -> pp_stuck sp ppf r
+  | Out_of_fuel -> Fmt.string ppf "<out of fuel>"

@@ -1,0 +1,312 @@
+(** Qualified type inference for the example language (Sections 2.3, 3.1,
+    3.2).
+
+    The inference is algorithmic: it performs standard shape unification
+    while emitting atomic qualifier constraints into a {!Typequal.Solver}
+    store, with subsumption folded into the flow edges. Qualifier-specific
+    semantics are supplied as {e hooks} — the paper's "each qualifier comes
+    with rules that describe how the qualifier interacts with the
+    operations in the language" — attached at exactly the choice points the
+    paper identifies (the arbitrary [Q]s in the rules of Figure 4b, e.g.
+    the assignment rule (Assign') for [const]).
+
+    Two entry points: {!infer} (monomorphic, Section 3.1) and with
+    [~poly:true] the let-polymorphic system of Section 3.2 ((Letv)/(Var'),
+    value restriction, existential binding of scheme-local variables). *)
+
+module Solver = Typequal.Solver
+module Lattice = Typequal.Lattice
+module Elt = Lattice.Elt
+module Space = Lattice.Space
+
+exception Infer_error of string
+
+(** Qualifier-specific rule hooks. Every hook receives the store and may
+    emit additional constraints. [no_hooks] leaves the framework rules
+    exactly as constructed by the generic translation of Section 3.1. *)
+type hooks = {
+  on_assign : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of the [ref] being assigned; const pins
+          it below [not const] (rule (Assign') of Section 2.4) *)
+  on_deref : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of the [ref] being read (e.g. nonnull) *)
+  on_app : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of the applied function *)
+  on_if_guard : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of an [if] guard *)
+  on_div : Solver.t -> Solver.var -> unit;
+      (** called with the qualifier of a divisor (e.g. nonzero) *)
+  on_int : Solver.t -> int -> Solver.var -> unit;
+      (** called with each integer literal and its qualifier; the generic
+          rule (Int) gives literals bottom, but a qualifier designer may
+          refine it (e.g. nonzero pins the literal's truthful zero-ness) *)
+  on_binop :
+    Solver.t -> Ast.binop -> Solver.var -> Solver.var -> Solver.var -> unit;
+      (** called with the operator and the qualifiers of both operands and
+          the result; e.g. taint joins the operand qualifiers into the
+          result *)
+  on_construct : Solver.t -> Qtype.t -> unit;
+      (** called on each constructed type node (Fun/Ref results), for
+          well-formedness conditions such as binding-time's "nothing
+          dynamic inside static" *)
+}
+
+let nop _ _ = ()
+
+let no_hooks =
+  {
+    on_assign = nop;
+    on_deref = nop;
+    on_app = nop;
+    on_if_guard = nop;
+    on_div = nop;
+    on_int = (fun _ _ _ -> ());
+    on_binop = (fun _ _ _ _ _ -> ());
+    on_construct = nop;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type scheme_entry = {
+  sch : Solver.scheme;
+  body : Qtype.t;  (** references the scheme's local variables *)
+}
+
+type entry = Mono of Qtype.t | Poly of scheme_entry
+type env = (string * entry) list
+
+(* Qualifier variables reachable from the environment: these must never be
+   generalized. For Poly entries the scheme's own locals are bound, but its
+   free variables are not. *)
+let env_qvars (env : env) =
+  let tbl = Hashtbl.create 32 in
+  let add v = Hashtbl.replace tbl (Solver.var_id v) () in
+  List.iter
+    (fun (_, entry) ->
+      match entry with
+      | Mono t -> List.iter add (Qtype.qvars t)
+      | Poly { sch; body } ->
+          let locals = Hashtbl.create 8 in
+          List.iter
+            (fun v -> Hashtbl.replace locals (Solver.var_id v) ())
+            (Solver.scheme_locals sch);
+          let add_free v =
+            if not (Hashtbl.mem locals (Solver.var_id v)) then add v
+          in
+          List.iter add_free (Qtype.qvars body);
+          List.iter
+            (fun atom ->
+              match atom with
+              | Solver.Avc (v, _, _, _) | Solver.Acv (_, v, _, _) ->
+                  add_free v
+              | Solver.Avv (a, b, _, _) ->
+                  add_free a;
+                  add_free b)
+            (Solver.scheme_atoms sch))
+    env;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Elaborating qualifier specifications                                *)
+(* ------------------------------------------------------------------ *)
+
+let override sp base spec =
+  List.fold_left
+    (fun acc (name, present) ->
+      match Space.find_opt sp name with
+      | None -> raise (Infer_error ("unknown qualifier " ^ name))
+      | Some i -> if present then Elt.set sp i acc else Elt.clear sp i acc)
+    base spec
+
+(** Annotation constant: listed coordinates overridden, others at their
+    sub-lattice bottom ("any new top-level qualifier is bottom",
+    Section 2.2). *)
+let annot_elt sp spec = override sp (Elt.bottom sp) spec
+
+(** Assertion bound: listed coordinates overridden, others unconstrained
+    (at top). Writing [~const] yields exactly the paper's [¬const]. *)
+let assert_elt sp spec = override sp (Elt.top sp) spec
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  store : Solver.t;
+  hooks : hooks;
+  poly : bool;
+  subf : ?reason:string -> Solver.t -> Qtype.t -> Qtype.t -> unit;
+      (** subtype decomposition: {!Qtype.sub} normally, or the deliberately
+          unsound covariant-ref variant for the ablation study *)
+}
+
+let rec infer_expr st (env : env) (e : Ast.expr) : Qtype.t =
+  let store = st.store in
+  let sp = Solver.space store in
+  match e with
+  | Var x -> (
+      match List.assoc_opt x env with
+      | None -> raise (Infer_error ("unbound variable " ^ x))
+      | Some (Mono t) -> t
+      | Some (Poly { sch; body }) ->
+          (* (Var'): instantiate the constrained scheme — rename all scheme
+             locals, re-emit the captured constraints, copy the body type
+             through the renaming. *)
+          let rn = Solver.instantiate store sch in
+          Qtype.rename_copy rn body)
+  | Int n ->
+      (* (Int): fresh unconstrained variable; its least solution is the
+         paper's bottom. *)
+      let t = Qtype.make store ~name:"int" Int in
+      st.hooks.on_int store n t.Qtype.q;
+      t
+  | Unit -> Qtype.make store ~name:"unit" Unit
+  | Lam (x, body) ->
+      let param = Qtype.fresh store ~name:("arg_" ^ x) () in
+      let r = infer_expr st ((x, Mono param) :: env) body in
+      let t = Qtype.make store ~name:"fun" (Fun (param, r)) in
+      st.hooks.on_construct store t;
+      t
+  | App (e1, e2) ->
+      let t1 = infer_expr st env e1 in
+      let t2 = infer_expr st env e2 in
+      let p = Qtype.fresh store ~name:"app_arg" () in
+      let r = Qtype.fresh store ~name:"app_res" () in
+      let f = Qtype.make store ~name:"app_fun" (Fun (p, r)) in
+      st.hooks.on_app store t1.Qtype.q;
+      st.subf ~reason:"function position of application" store t1 f;
+      st.subf ~reason:"argument of application" store t2 p;
+      r
+  | If (e1, e2, e3) ->
+      let t1 = infer_expr st env e1 in
+      st.subf ~reason:"if guard must be int" store t1
+        (Qtype.make store ~name:"guard" Int);
+      st.hooks.on_if_guard store t1.Qtype.q;
+      let r = Qtype.fresh store ~name:"if_res" () in
+      let t2 = infer_expr st env e2 in
+      let t3 = infer_expr st env e3 in
+      st.subf ~reason:"then branch" store t2 r;
+      st.subf ~reason:"else branch" store t3 r;
+      r
+  | Let (x, e1, e2) ->
+      if st.poly && Ast.is_value e1 then begin
+        (* (Letv): capture the constraints generated for the bound value,
+           generalize the qualifier variables that are local to it. *)
+        let t1, atoms =
+          Solver.recording store (fun () -> infer_expr st env e1)
+        in
+        (* Compute the environment's variables *after* inferring the value:
+           unification may have refined environment shapes with fresh
+           qualifier variables, which must stay monomorphic. *)
+        let env_vars = env_qvars env in
+        let atom_vars =
+          List.concat_map
+            (function
+              | Solver.Avc (v, _, _, _) | Solver.Acv (_, v, _, _) -> [ v ]
+              | Solver.Avv (a, b, _, _) -> [ a; b ])
+            atoms
+        in
+        let candidates = Qtype.qvars t1 @ atom_vars in
+        let seen = Hashtbl.create 16 in
+        let locals =
+          List.filter
+            (fun v ->
+              let id = Solver.var_id v in
+              if Hashtbl.mem env_vars id || Hashtbl.mem seen id then false
+              else begin
+                Hashtbl.add seen id ();
+                true
+              end)
+            candidates
+        in
+        let sch = Solver.make_scheme ~locals ~atoms in
+        infer_expr st ((x, Poly { sch; body = t1 }) :: env) e2
+      end
+      else
+        let t1 = infer_expr st env e1 in
+        infer_expr st ((x, Mono t1) :: env) e2
+  | Ref e ->
+      let t = infer_expr st env e in
+      let r = Qtype.make store ~name:"ref" (Ref t) in
+      st.hooks.on_construct store r;
+      r
+  | Deref e ->
+      let t = infer_expr st env e in
+      let c = Qtype.fresh store ~name:"contents" () in
+      let cell = Qtype.make store ~name:"deref" (Ref c) in
+      st.subf ~reason:"dereference of a non-ref" store t cell;
+      st.hooks.on_deref store t.Qtype.q;
+      c
+  | Assign (e1, e2) ->
+      let t1 = infer_expr st env e1 in
+      let c = Qtype.fresh store ~name:"assign_cell" () in
+      let cell = Qtype.make store ~name:"assign_ref" (Ref c) in
+      st.subf ~reason:"assignment to a non-ref" store t1 cell;
+      st.hooks.on_assign store t1.Qtype.q;
+      let t2 = infer_expr st env e2 in
+      st.subf ~reason:"assigned value" store t2 c;
+      Qtype.make store ~name:"assign_res" Unit
+  | Annot (spec, e) ->
+      (* (Annot): premise Q <= l; the result type is exactly l tau. *)
+      let t = infer_expr st env e in
+      let l = annot_elt sp spec in
+      Solver.add_leq_vc ~reason:"annotation premise Q <= l" store t.Qtype.q l;
+      let q = Solver.fresh ~name:"annot" store in
+      Solver.add_eq_vc ~reason:"annotation result" store q l;
+      { t with q }
+  | Assert (e, spec) ->
+      (* (Assert): Q <= l; the type is unchanged. *)
+      let t = infer_expr st env e in
+      let l = assert_elt sp spec in
+      Solver.add_leq_vc ~reason:"qualifier assertion" store t.Qtype.q l;
+      t
+  | Binop (op, e1, e2) ->
+      let t1 = infer_expr st env e1 in
+      let t2 = infer_expr st env e2 in
+      st.subf ~reason:"left operand must be int" store t1
+        (Qtype.make store ~name:"lop" Int);
+      st.subf ~reason:"right operand must be int" store t2
+        (Qtype.make store ~name:"rop" Int);
+      if op = Ast.Div then st.hooks.on_div store t2.Qtype.q;
+      let res = Qtype.make store ~name:"binop_res" Int in
+      st.hooks.on_binop store op t1.Qtype.q t2.Qtype.q res.Qtype.q;
+      res
+
+(** Result of running inference to completion. *)
+type result = {
+  store : Solver.t;
+  qtyp : Qtype.t;
+  errors : Solver.error list;  (** empty iff the program typechecks *)
+}
+
+let infer ?(hooks = no_hooks) ?(poly = false) ?(unsound_ref = false)
+    ?(env = []) space e =
+  let store = Solver.create space in
+  let subf ?reason store' t1 t2 =
+    if unsound_ref then Qtype.sub_unsound_ref ?reason store' t1 t2
+    else Qtype.sub ?reason store' t1 t2
+  in
+  let st = { store; hooks; poly; subf } in
+  match infer_expr st env e with
+  | qtyp ->
+      let errors = match Solver.solve store with Ok () -> [] | Error es -> es in
+      Ok { store; qtyp; errors }
+  | exception Infer_error msg -> Error msg
+  | exception Qtype.Type_error msg -> Error msg
+  | exception Stype.Type_error msg -> Error msg
+
+(** [check] — the program typechecks iff inference succeeds and its
+    constraints are satisfiable. *)
+let check ?hooks ?poly ?unsound_ref ?env space e =
+  match infer ?hooks ?poly ?unsound_ref ?env space e with
+  | Error msg -> Error [ msg ]
+  | Ok r ->
+      if r.errors = [] then Ok r
+      else Error (List.map Solver.error_message r.errors)
+
+let typechecks ?hooks ?poly ?unsound_ref ?env space e =
+  match check ?hooks ?poly ?unsound_ref ?env space e with
+  | Ok _ -> true
+  | Error _ -> false

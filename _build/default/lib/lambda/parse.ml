@@ -1,0 +1,354 @@
+(** Concrete syntax for the example language.
+
+    The surface syntax follows the paper (Figure 1 plus the annotation and
+    assertion forms of Section 2.2), with ML-flavoured keywords:
+
+    {v
+    let x = ref 1 in
+    let y = @[const] ref 1 in      (* annotation: l e     *)
+    (!x) |[nonzero];               (* assertion: e|l      *)
+    x := !x + 1
+    v}
+
+    - [@[q1 q2 ~q3] e] annotates [e]: listed qualifiers are overridden on
+      top of bottom ([~q] marks a qualifier as absent).
+    - [e |[spec]] asserts that [e]'s top-level qualifier is below the bound
+      built by overriding top with the spec; [e |[~const]] is the paper's
+      [e|¬const], and [e |[nonzero]] requires nonzero.
+    - The paper's closing keywords [fi] and [ni] are accepted and ignored,
+      so examples can be transcribed verbatim.
+    - [e1; e2] abbreviates [let _ = e1 in e2].
+    - Comments are [(* ... *)]. *)
+
+exception Parse_error of string
+
+type token =
+  | TLET
+  | TIN
+  | TFUN
+  | TIF
+  | TTHEN
+  | TELSE
+  | TREF
+  | TINT of int
+  | TIDENT of string
+  | TARROW
+  | TASSIGN
+  | TEQ  (* = *)
+  | TEQEQ  (* == *)
+  | TLT
+  | TPLUS
+  | TMINUS
+  | TSTAR
+  | TSLASH
+  | TLPAR
+  | TRPAR
+  | TBANG
+  | TAT
+  | TLBRACK
+  | TRBRACK
+  | TTILDE
+  | TPIPE
+  | TSEMI
+  | TEOF
+
+let pp_token ppf = function
+  | TLET -> Fmt.string ppf "let"
+  | TIN -> Fmt.string ppf "in"
+  | TFUN -> Fmt.string ppf "fun"
+  | TIF -> Fmt.string ppf "if"
+  | TTHEN -> Fmt.string ppf "then"
+  | TELSE -> Fmt.string ppf "else"
+  | TREF -> Fmt.string ppf "ref"
+  | TINT n -> Fmt.int ppf n
+  | TIDENT x -> Fmt.string ppf x
+  | TARROW -> Fmt.string ppf "->"
+  | TASSIGN -> Fmt.string ppf ":="
+  | TEQ -> Fmt.string ppf "="
+  | TEQEQ -> Fmt.string ppf "=="
+  | TLT -> Fmt.string ppf "<"
+  | TPLUS -> Fmt.string ppf "+"
+  | TMINUS -> Fmt.string ppf "-"
+  | TSTAR -> Fmt.string ppf "*"
+  | TSLASH -> Fmt.string ppf "/"
+  | TLPAR -> Fmt.string ppf "("
+  | TRPAR -> Fmt.string ppf ")"
+  | TBANG -> Fmt.string ppf "!"
+  | TAT -> Fmt.string ppf "@"
+  | TLBRACK -> Fmt.string ppf "["
+  | TRBRACK -> Fmt.string ppf "]"
+  | TTILDE -> Fmt.string ppf "~"
+  | TPIPE -> Fmt.string ppf "|"
+  | TSEMI -> Fmt.string ppf ";"
+  | TEOF -> Fmt.string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let rec skip i =
+    if i >= n then i
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip (i + 1)
+      | '(' when i + 1 < n && s.[i + 1] = '*' -> skip_comment (i + 2) 1
+      | _ -> i
+  and skip_comment i depth =
+    if i >= n then raise (Parse_error "unterminated comment")
+    else if i + 1 < n && s.[i] = '(' && s.[i + 1] = '*' then
+      skip_comment (i + 2) (depth + 1)
+    else if i + 1 < n && s.[i] = '*' && s.[i + 1] = ')' then
+      if depth = 1 then skip (i + 2) else skip_comment (i + 2) (depth - 1)
+    else skip_comment (i + 1) depth
+  in
+  let rec go i acc =
+    let i = skip i in
+    if i >= n then List.rev (TEOF :: acc)
+    else
+      let c = s.[i] in
+      if c >= '0' && c <= '9' then begin
+        let j = ref i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        go !j (TINT (int_of_string (String.sub s i (!j - i))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        let word = String.sub s i (!j - i) in
+        let tok =
+          match word with
+          | "let" -> Some TLET
+          | "in" -> Some TIN
+          | "fun" -> Some TFUN
+          | "if" -> Some TIF
+          | "then" -> Some TTHEN
+          | "else" -> Some TELSE
+          | "ref" -> Some TREF
+          | "fi" | "ni" -> None (* paper-style closers, ignored *)
+          | w -> Some (TIDENT w)
+        in
+        go !j (match tok with Some t -> t :: acc | None -> acc)
+      end
+      else
+        let two t j = go j (t :: acc) in
+        match c with
+        | '-' when i + 1 < n && s.[i + 1] = '>' -> two TARROW (i + 2)
+        | ':' when i + 1 < n && s.[i + 1] = '=' -> two TASSIGN (i + 2)
+        | '=' when i + 1 < n && s.[i + 1] = '=' -> two TEQEQ (i + 2)
+        | '=' -> two TEQ (i + 1)
+        | '<' -> two TLT (i + 1)
+        | '+' -> two TPLUS (i + 1)
+        | '-' -> two TMINUS (i + 1)
+        | '*' -> two TSTAR (i + 1)
+        | '/' -> two TSLASH (i + 1)
+        | '(' -> two TLPAR (i + 1)
+        | ')' -> two TRPAR (i + 1)
+        | '!' -> two TBANG (i + 1)
+        | '@' -> two TAT (i + 1)
+        | '[' -> two TLBRACK (i + 1)
+        | ']' -> two TRBRACK (i + 1)
+        | '~' -> two TTILDE (i + 1)
+        | '|' -> two TPIPE (i + 1)
+        | ';' -> two TSEMI (i + 1)
+        | c -> raise (Parse_error (Fmt.str "unexpected character %C" c))
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                            *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEOF | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> TEOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = next st in
+  if got <> t then
+    raise (Parse_error (Fmt.str "expected %a, got %a" pp_token t pp_token got))
+
+let ident st =
+  match next st with
+  | TIDENT x -> x
+  | t -> raise (Parse_error (Fmt.str "expected identifier, got %a" pp_token t))
+
+(* spec := (name | ~name)* *)
+let parse_spec st : Ast.qspec =
+  let rec go acc =
+    match peek st with
+    | TIDENT x ->
+        ignore (next st);
+        go ((x, true) :: acc)
+    | TTILDE ->
+        ignore (next st);
+        let x = ident st in
+        go ((x, false) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let rec parse_seq st : Ast.expr =
+  let e = parse_stmt st in
+  match peek st with
+  | TSEMI ->
+      ignore (next st);
+      let rest = parse_seq st in
+      Let ("_", e, rest)
+  | _ -> e
+
+and parse_stmt st : Ast.expr =
+  match peek st with
+  | TLET ->
+      ignore (next st);
+      let x = ident st in
+      expect st TEQ;
+      let e1 = parse_stmt st in
+      expect st TIN;
+      let e2 = parse_seq st in
+      Let (x, e1, e2)
+  | TFUN ->
+      ignore (next st);
+      let x = ident st in
+      expect st TARROW;
+      let e = parse_seq st in
+      Lam (x, e)
+  | TIF ->
+      ignore (next st);
+      let g = parse_stmt st in
+      expect st TTHEN;
+      let e2 = parse_stmt st in
+      expect st TELSE;
+      let e3 = parse_stmt st in
+      If (g, e2, e3)
+  | _ -> parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cmp st in
+  match peek st with
+  | TASSIGN ->
+      ignore (next st);
+      let rhs = parse_assign st in
+      Assign (lhs, rhs)
+  | _ -> lhs
+
+and parse_cmp st =
+  let e = parse_add st in
+  match peek st with
+  | TLT ->
+      ignore (next st);
+      Binop (Lt, e, parse_add st)
+  | TEQEQ ->
+      ignore (next st);
+      Binop (Eq, e, parse_add st)
+  | _ -> e
+
+and parse_add st =
+  let rec go acc =
+    match peek st with
+    | TPLUS ->
+        ignore (next st);
+        go (Ast.Binop (Add, acc, parse_mul st))
+    | TMINUS ->
+        ignore (next st);
+        go (Ast.Binop (Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go acc =
+    match peek st with
+    | TSTAR ->
+        ignore (next st);
+        go (Ast.Binop (Mul, acc, parse_annot st))
+    | TSLASH ->
+        ignore (next st);
+        go (Ast.Binop (Div, acc, parse_annot st))
+    | _ -> acc
+  in
+  go (parse_annot st)
+
+and parse_annot st =
+  match peek st with
+  | TAT ->
+      ignore (next st);
+      expect st TLBRACK;
+      let spec = parse_spec st in
+      expect st TRBRACK;
+      Annot (spec, parse_annot st)
+  | _ -> parse_app st
+
+and parse_app st =
+  let head = parse_unary st in
+  let rec args acc =
+    match peek st with
+    | TINT _ | TIDENT _ | TLPAR | TBANG | TREF ->
+        let a = parse_unary st in
+        args (Ast.App (acc, a))
+    | _ -> acc
+  in
+  let e = args head in
+  (* postfix assertions bind to the whole application *)
+  let rec asserts acc =
+    match st.toks with
+    | TPIPE :: TLBRACK :: rest ->
+        st.toks <- rest;
+        let spec = parse_spec st in
+        expect st TRBRACK;
+        asserts (Ast.Assert (acc, spec))
+    | _ -> acc
+  in
+  asserts e
+
+and parse_unary st =
+  match peek st with
+  | TBANG ->
+      ignore (next st);
+      Deref (parse_unary st)
+  | TREF ->
+      ignore (next st);
+      Ref (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match next st with
+  | TINT n -> Int n
+  | TMINUS -> (
+      match next st with
+      | TINT n -> Int (-n)
+      | t ->
+          raise (Parse_error (Fmt.str "expected integer after -, got %a" pp_token t)))
+  | TIDENT x -> Var x
+  | TLPAR -> (
+      match peek st with
+      | TRPAR ->
+          ignore (next st);
+          Unit
+      | _ ->
+          let e = parse_seq st in
+          expect st TRPAR;
+          e)
+  | t -> raise (Parse_error (Fmt.str "unexpected token %a" pp_token t))
+
+(** Parse a complete program. *)
+let parse (s : string) : Ast.expr =
+  let st = { toks = tokenize s } in
+  let e = parse_seq st in
+  expect st TEOF;
+  e
+
+let parse_result s =
+  match parse s with e -> Ok e | exception Parse_error m -> Error m

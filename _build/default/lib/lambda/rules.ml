@@ -1,0 +1,187 @@
+(** Prebuilt qualifier spaces and the per-qualifier rule hooks used by the
+    paper's running examples. Each bundle pairs a {!Typequal.Lattice.Space}
+    with the {!Infer.hooks} that give its qualifiers their semantics —
+    the user-supplied rules of Section 2.4. *)
+
+module Q = Typequal.Qualifier
+module Lattice = Typequal.Lattice
+module Elt = Lattice.Elt
+module Space = Lattice.Space
+module Solver = Typequal.Solver
+
+(** Compose two hook bundles (both run, first one first). *)
+let combine (h1 : Infer.hooks) (h2 : Infer.hooks) : Infer.hooks =
+  {
+    on_assign =
+      (fun s v ->
+        h1.on_assign s v;
+        h2.on_assign s v);
+    on_deref =
+      (fun s v ->
+        h1.on_deref s v;
+        h2.on_deref s v);
+    on_app =
+      (fun s v ->
+        h1.on_app s v;
+        h2.on_app s v);
+    on_if_guard =
+      (fun s v ->
+        h1.on_if_guard s v;
+        h2.on_if_guard s v);
+    on_div =
+      (fun s v ->
+        h1.on_div s v;
+        h2.on_div s v);
+    on_int =
+      (fun s n v ->
+        h1.on_int s n v;
+        h2.on_int s n v);
+    on_binop =
+      (fun s op l r res ->
+        h1.on_binop s op l r res;
+        h2.on_binop s op l r res);
+    on_construct =
+      (fun s t ->
+        h1.on_construct s t;
+        h2.on_construct s t);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* const (Section 2.4)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Rule (Assign'): the left-hand side of an assignment must be non-const.
+    Requires ["const"] in the space. *)
+let const_hooks : Infer.hooks =
+  {
+    Infer.no_hooks with
+    on_assign =
+      (fun store q ->
+        let sp = Solver.space store in
+        Solver.add_leq_vc
+          ~reason:"assignment target must be non-const (Assign')" store q
+          (Elt.not_name sp "const"));
+  }
+
+let const_space = Space.create [ Q.const ]
+
+(* ------------------------------------------------------------------ *)
+(* nonzero (Figure 2)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A divisor must be nonzero. Requires ["nonzero"] in the space. Note
+    that, as in the paper, annotations asserting nonzero-ness are trusted
+    (Section 2.3: "we do not attempt to verify that sorted is placed
+    correctly — we simply assume it is"). *)
+let nonzero_hooks : Infer.hooks =
+  {
+    Infer.no_hooks with
+    on_div =
+      (fun store q ->
+        let sp = Solver.space store in
+        Solver.add_leq_vc ~reason:"divisor must be nonzero" store q
+          (Elt.not_name sp "nonzero"));
+    on_int =
+      (fun store n q ->
+        (* Refine (Int): the literal 0 must not claim nonzero. A lower
+           bound with the nonzero coordinate absent (its sub-lattice top)
+           forces the absence into the least solution. *)
+        if n = 0 then
+          let sp = Solver.space store in
+          let i = Space.find sp "nonzero" in
+          let mask = Elt.singleton_mask sp i in
+          Solver.add_leq_cv ~mask ~reason:"the literal 0 is not nonzero"
+            store
+            (Elt.clear sp i (Elt.bottom sp))
+            q);
+  }
+
+let nonzero_space = Space.create [ Q.nonzero ]
+
+(* ------------------------------------------------------------------ *)
+(* binding time: static/dynamic (Sections 1, 2)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Well-formedness: nothing dynamic may appear within a static value —
+    e.g. [static (dynamic a -> dynamic b)] is ill-formed. Expressed as a
+    masked flow on the [dynamic] coordinate from each child of a
+    constructed type to the constructor itself. Requires ["dynamic"]. *)
+let binding_time_hooks : Infer.hooks =
+  let flow store (child : Qtype.t) (parent : Qtype.t) =
+    let sp = Solver.space store in
+    let mask = Elt.mask_of_names sp [ "dynamic" ] in
+    Solver.add_leq_vv ~mask
+      ~reason:"nothing dynamic inside a static value (well-formedness)"
+      store child.Qtype.q parent.Qtype.q
+  in
+  {
+    Infer.no_hooks with
+    on_construct =
+      (fun store t ->
+        match Qtype.repr t.Qtype.shape with
+        | Qtype.Fun (a, r) ->
+            flow store a t;
+            flow store r t
+        | Qtype.Ref c -> flow store c t
+        | _ -> ());
+  }
+
+let binding_time_space = Space.create [ Q.dynamic ]
+
+(* ------------------------------------------------------------------ *)
+(* taint tracking (cf. Section 5's information-flow systems)           *)
+(* ------------------------------------------------------------------ *)
+
+let taint_space = Space.create [ Q.tainted ]
+
+(** Taint propagates through arithmetic: the result of a binary operation
+    carries the taint of both operands (a join, expressed as two flow
+    edges). Without this, [x + 0] would launder taint. Sources annotate
+    with [@[tainted]]; sinks assert [|[~tainted]]. *)
+let taint_hooks : Infer.hooks =
+  {
+    Infer.no_hooks with
+    on_binop =
+      (fun store _op l r res ->
+        Solver.add_leq_vv ~reason:"left operand taints result" store l res;
+        Solver.add_leq_vv ~reason:"right operand taints result" store r res);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Figure 2 lattice: const x dynamic x nonzero             *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_space = Space.create [ Q.const; Q.dynamic; Q.nonzero ]
+
+(** Hooks for the combined Figure 2 space: const assignment rule,
+    binding-time well-formedness, nonzero division. *)
+let fig2_hooks = combine const_hooks (combine binding_time_hooks nonzero_hooks)
+
+(** The space used by most tests: const + nonzero, with their hooks. *)
+let cn_space = Space.create [ Q.const; Q.nonzero ]
+let cn_hooks = combine const_hooks nonzero_hooks
+
+(* ------------------------------------------------------------------ *)
+(* nonnull (lclint, Section 1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let nonnull_space = Space.create [ Q.nonnull ]
+
+(** lclint's [nonnull] (Section 1): dereferencing requires the pointer to
+    be non-null. [nonnull] is negative, so freshly created refs carry it
+    (a [ref e] is never null); possibly-null values are introduced by
+    annotation ([@[~nonnull]]), e.g. on a lookup function's result, and
+    must be re-asserted (after a test) before dereference. *)
+let nonnull_hooks : Infer.hooks =
+  let check store q ~reason =
+    let sp = Solver.space store in
+    Solver.add_leq_vc ~reason store q (Elt.not_name sp "nonnull")
+  in
+  {
+    Infer.no_hooks with
+    on_deref =
+      (fun store q -> check store q ~reason:"dereference requires nonnull");
+    on_assign =
+      (fun store q ->
+        check store q ~reason:"assignment through a pointer requires nonnull");
+  }

@@ -1,0 +1,128 @@
+(** Standard (unqualified) types and the standard type system of the
+    example language: the simply-typed lambda calculus with integers, unit
+    and ML-style references. This is the system the qualified system of
+    {!Infer} refines; Observation 1 of the paper relates the two, and the
+    property tests check it. *)
+
+type t =
+  | SVar of tv
+  | SInt
+  | SUnit
+  | SFun of t * t
+  | SRef of t
+
+and tv = { id : int; mutable link : t option }
+
+let counter = ref 0
+
+let fresh_var () =
+  incr counter;
+  SVar { id = !counter; link = None }
+
+let rec repr = function
+  | SVar ({ link = Some t; _ } as v) ->
+      let t' = repr t in
+      v.link <- Some t';
+      t'
+  | t -> t
+
+exception Type_error of string
+
+let rec occurs v t =
+  match repr t with
+  | SVar v' -> v == v'
+  | SInt | SUnit -> false
+  | SFun (a, b) -> occurs v a || occurs v b
+  | SRef a -> occurs v a
+
+let rec unify t1 t2 =
+  let t1 = repr t1 and t2 = repr t2 in
+  match (t1, t2) with
+  | SVar v1, SVar v2 when v1 == v2 -> ()
+  | SVar v, t | t, SVar v ->
+      if occurs v t then raise (Type_error "occurs check (recursive type)");
+      v.link <- Some t
+  | SInt, SInt | SUnit, SUnit -> ()
+  | SFun (a1, r1), SFun (a2, r2) ->
+      unify a1 a2;
+      unify r1 r2
+  | SRef a1, SRef a2 -> unify a1 a2
+  | _ ->
+      raise
+        (Type_error
+           (Fmt.str "cannot unify %a with %a" pp_hum t1 pp_hum t2))
+
+and pp_hum ppf t =
+  match repr t with
+  | SVar v -> Fmt.pf ppf "'a%d" v.id
+  | SInt -> Fmt.string ppf "int"
+  | SUnit -> Fmt.string ppf "unit"
+  | SFun (a, b) -> Fmt.pf ppf "(%a -> %a)" pp_hum a pp_hum b
+  | SRef a -> Fmt.pf ppf "ref(%a)" pp_hum a
+
+let pp = pp_hum
+
+(** Structural equality up to resolved links (variables by identity). *)
+let rec equal t1 t2 =
+  match (repr t1, repr t2) with
+  | SVar v1, SVar v2 -> v1 == v2
+  | SInt, SInt | SUnit, SUnit -> true
+  | SFun (a1, r1), SFun (a2, r2) -> equal a1 a2 && equal r1 r2
+  | SRef a1, SRef a2 -> equal a1 a2
+  | _ -> false
+
+(** Standard type inference for the simply-typed system. Qualifier
+    annotations and assertions are transparent (typing [e] is typing
+    [strip e]). Raises {!Type_error} on failure. *)
+let rec infer env (e : Ast.expr) : t =
+  match e with
+  | Var x -> (
+      match List.assoc_opt x env with
+      | Some t -> t
+      | None -> raise (Type_error ("unbound variable " ^ x)))
+  | Int _ -> SInt
+  | Unit -> SUnit
+  | Lam (x, body) ->
+      let a = fresh_var () in
+      let r = infer ((x, a) :: env) body in
+      SFun (a, r)
+  | App (e1, e2) ->
+      let t1 = infer env e1 in
+      let t2 = infer env e2 in
+      let r = fresh_var () in
+      unify t1 (SFun (t2, r));
+      r
+  | If (e1, e2, e3) ->
+      unify (infer env e1) SInt;
+      let t2 = infer env e2 in
+      let t3 = infer env e3 in
+      unify t2 t3;
+      t2
+  | Let (x, e1, e2) ->
+      let t1 = infer env e1 in
+      infer ((x, t1) :: env) e2
+  | Ref e ->
+      let t = infer env e in
+      SRef t
+  | Deref e ->
+      let t = infer env e in
+      let c = fresh_var () in
+      unify t (SRef c);
+      c
+  | Assign (e1, e2) ->
+      let t1 = infer env e1 in
+      let c = fresh_var () in
+      unify t1 (SRef c);
+      unify (infer env e2) c;
+      SUnit
+  | Annot (_, e) | Assert (e, _) -> infer env e
+  | Binop (op, e1, e2) ->
+      unify (infer env e1) SInt;
+      unify (infer env e2) SInt;
+      ignore op;
+      SInt
+
+let infer_top e = infer [] e
+
+let typable e =
+  match infer_top e with _ -> true | exception Type_error _ -> false

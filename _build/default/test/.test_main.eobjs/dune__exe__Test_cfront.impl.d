@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Cast Cfront Clexer Cparse Cprog Ctoken Hashtbl List

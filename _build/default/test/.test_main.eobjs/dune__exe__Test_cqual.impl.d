@@ -1,0 +1,1 @@
+test/test_cqual.ml: Alcotest Analysis Cbench Cqual Driver Fdg Fmt List Printf Report

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Eval Infer List Parse Printf Qlambda Rules Typequal

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Cqual Flow List

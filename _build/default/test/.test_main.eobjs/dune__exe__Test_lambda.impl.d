@@ -1,0 +1,1 @@
+test/test_lambda.ml: Alcotest Ast Eval Fmt Infer Lattice List Parse Printf Qlambda Qtype Rules Solver String Stype Typequal

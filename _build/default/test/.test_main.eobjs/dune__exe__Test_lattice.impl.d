@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Lattice List Printf Qualifier Typequal

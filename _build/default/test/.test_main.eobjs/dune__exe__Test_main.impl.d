@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cfront Test_cqual Test_eval Test_flow Test_lambda Test_lattice Test_props Test_solver

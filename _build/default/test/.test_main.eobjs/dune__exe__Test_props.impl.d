@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ast Eval Fun Infer Lattice List Parse Printf QCheck2 QCheck_alcotest Qlambda Qtype Qualifier Result Rules Solver Stype Typequal

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Cbench Cqual Fmt Lattice List Printf Qualifier Result Solver String Typequal

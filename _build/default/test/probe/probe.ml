@@ -1,0 +1,59 @@
+(* ad-hoc coverage probe for the random term generator (not a test) *)
+open Qlambda
+
+let term_gen : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let specs =
+    [ []; [ ("const", true) ]; [ ("nonzero", true) ]; [ ("nonzero", false) ];
+      [ ("const", true); ("nonzero", true) ] ]
+  in
+  let spec = oneofl specs in
+  let bound_specs = [ [ ("const", false) ]; [ ("nonzero", true) ]; [] ] in
+  let bspec = oneofl bound_specs in
+  let var_of env =
+    if env = [] then map (fun n -> Ast.Int n) (int_bound 9)
+    else map (fun x -> Ast.Var x) (oneofl env)
+  in
+  let fresh_name env = Printf.sprintf "x%d" (List.length env) in
+  fix
+    (fun self (size, env) ->
+      if size <= 0 then
+        oneof [ map (fun n -> Ast.Int n) (int_bound 9); return Ast.Unit; var_of env ]
+      else
+        let sub = self (size / 2, env) in
+        oneof
+          [ var_of env;
+            map (fun n -> Ast.Int n) (int_bound 9);
+            map2 (fun a b -> Ast.App (a, b)) sub sub;
+            (let x = fresh_name env in
+             map (fun b -> Ast.Lam (x, b)) (self (size - 1, x :: env)));
+            (let x = fresh_name env in
+             map2 (fun e b -> Ast.Let (x, e, b)) sub (self (size / 2, x :: env)));
+            map3 (fun a b c -> Ast.If (a, b, c)) sub sub sub;
+            map (fun e -> Ast.Ref e) sub;
+            map (fun e -> Ast.Deref e) sub;
+            map2 (fun a b -> Ast.Assign (a, b)) sub sub;
+            map2 (fun s e -> Ast.Annot (s, e)) spec sub;
+            map2 (fun e s -> Ast.Assert (e, s)) sub bspec;
+            map3 (fun op a b -> Ast.Binop (op, a, b))
+              (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Eq ]) sub sub ])
+    (8, [])
+
+let () =
+  let gen = QCheck2.Gen.generate ~n:5000 term_gen in
+  let ok = ref 0 and stuck = ref 0 and values = ref 0 in
+  List.iter
+    (fun e ->
+      if Infer.typechecks ~hooks:Rules.cn_hooks ~poly:true Rules.cn_space e then begin
+        incr ok;
+        match Eval.run ~fuel:2000 Rules.cn_space e with
+        | Eval.Stuck_at Eval.Division_by_zero -> ()
+        | Eval.Stuck_at r ->
+            incr stuck;
+            Fmt.pr "STUCK: %s@.  %a@." (Ast.to_string e)
+              (Eval.pp_stuck Rules.cn_space) r
+        | Eval.Value _ -> incr values
+        | Eval.Out_of_fuel -> ()
+      end)
+    gen;
+  Printf.printf "total=5000 typechecked=%d values=%d stuck=%d\n" !ok !values !stuck

@@ -1,0 +1,165 @@
+(* Tests for the operational semantics (Figure 5): reduction rules,
+   qualifier checks at annotations/assertions, store behaviour, and the
+   connection to the type system (well-typed programs don't get stuck). *)
+
+open Qlambda
+module E = Typequal.Lattice.Elt
+
+let cn = Rules.cn_space
+
+let parse s =
+  match Parse.parse_result s with
+  | Ok e -> e
+  | Error m -> Alcotest.failf "parse: %s" m
+
+let run src = Eval.run cn (parse src)
+
+let expect_int src n =
+  match run src with
+  | Eval.Value (_, Eval.RInt m) when m = n -> ()
+  | o -> Alcotest.failf "%s: expected %d, got %a" src n (Eval.pp_outcome cn) o
+
+let expect_stuck src pred =
+  match run src with
+  | Eval.Stuck_at r when pred r -> ()
+  | o -> Alcotest.failf "%s: expected stuck, got %a" src (Eval.pp_outcome cn) o
+
+let test_arith () =
+  expect_int "1 + 2 * 3" 7;
+  expect_int "10 - 4 - 3" 3;
+  expect_int "7 / 2" 3;
+  expect_int "(1 < 2) + (2 == 2)" 2;
+  expect_int "-5 + 3" (-2)
+
+let test_if () =
+  (* C convention: 0 false, non-zero true *)
+  expect_int "if 1 then 10 else 20" 10;
+  expect_int "if 0 then 10 else 20" 20;
+  expect_int "if 42 then 10 else 20" 10
+
+let test_let_and_lambda () =
+  expect_int "let x = 3 in x + x" 6;
+  expect_int "(fun x -> x * x) 5" 25;
+  expect_int "let compose = fun f -> fun g -> fun x -> f (g x) in\n\
+              compose (fun a -> a + 1) (fun b -> b * 2) 10" 21
+
+let test_refs () =
+  expect_int "let r = ref 5 in !r" 5;
+  expect_int "let r = ref 5 in r := 7; !r" 7;
+  expect_int "let r = ref 0 in let s = r in s := 9; !r" 9;
+  (* assignment evaluates to unit *)
+  (match run "let r = ref 1 in r := 2" with
+  | Eval.Value (_, Eval.RUnit) -> ()
+  | o -> Alcotest.failf "unit expected: %a" (Eval.pp_outcome cn) o)
+
+let test_shadowing () =
+  expect_int "let x = 1 in let x = 2 in x" 2;
+  expect_int "let x = 1 in (fun x -> x + 1) 10 + x" 12
+
+let test_annotation_collapse () =
+  (* l1 (l2 v) -> l1 v requires l2 <= l1 *)
+  match run "@[const] (@[] 5)" with
+  | Eval.Value (l, Eval.RInt 5) ->
+      Alcotest.(check bool) "const in final annot" true
+        (E.has_name cn "const" l)
+  | o -> Alcotest.failf "collapse: %a" (Eval.pp_outcome cn) o
+
+let test_annotation_failure () =
+  (* demoting a const value with a lower annotation is stuck (and also
+     ill-typed — the checker would reject it) *)
+  expect_stuck "@[] (@[const] 5)" (function
+    | Eval.Annotation_failure _ -> true
+    | _ -> false)
+
+let test_assertion_pass_and_fail () =
+  expect_int "(@[nonzero] 5) |[nonzero]" 5;
+  expect_stuck "(@[~nonzero] 0) |[nonzero]" (function
+    | Eval.Assertion_failure _ -> true
+    | _ -> false)
+
+let test_div_by_zero () =
+  expect_stuck "1 / 0" (function Eval.Division_by_zero -> true | _ -> false)
+
+let test_ill_formed_stuck () =
+  expect_stuck "1 2" (function Eval.Ill_formed _ -> true | _ -> false);
+  expect_stuck "!3" (function Eval.Ill_formed _ -> true | _ -> false);
+  expect_stuck "4 := 5" (function Eval.Ill_formed _ -> true | _ -> false);
+  expect_stuck "if (fun x -> x) then 1 else 2" (function
+    | Eval.Ill_formed _ -> true
+    | _ -> false)
+
+let test_out_of_fuel () =
+  let loop = "let f = ref (fun x -> x) in f := (fun x -> !f x); !f 1" in
+  match Eval.run ~fuel:1000 cn (parse loop) with
+  | Eval.Out_of_fuel -> ()
+  | o -> Alcotest.failf "expected divergence, got %a" (Eval.pp_outcome cn) o
+
+let test_eval_order () =
+  (* left-to-right: the function is evaluated before the argument *)
+  expect_int
+    "let r = ref 0 in\n\
+     let f = (r := 1; fun x -> !r) in\n\
+     f (r := 2; 0)" 2
+
+let test_store_isolation () =
+  expect_int
+    "let a = ref 1 in let b = ref 2 in a := 10; !a + !b" 12
+
+let test_trace () =
+  let steps, out = Eval.trace cn (parse "1 + 2") in
+  Alcotest.(check bool) "multiple steps" true (List.length steps >= 2);
+  match out with
+  | Eval.Value (_, Eval.RInt 3) -> ()
+  | _ -> Alcotest.fail "trace outcome"
+
+(* Well-typed programs never get stuck (soundness, Corollary 1), on a
+   corpus of hand-picked programs that exercise every construct. *)
+let test_welltyped_dont_get_stuck () =
+  let programs =
+    [
+      "let x = ref 1 in x := !x + 1; !x";
+      "let f = fun g -> g 1 in f (fun y -> y + 1)";
+      "let r = ref (fun x -> x + 1) in (!r) 5";
+      "let x = @[const] ref 10 in !x";
+      "(@[nonzero] 3) |[nonzero] + 1";
+      "let apply = fun f -> fun x -> f x in apply (fun v -> v) (ref 0) := 4";
+      "if 1 - 1 then 1 / 1 else 0";
+      "let swapin = fun r -> fun v -> r := v in\n\
+       let c = ref 0 in swapin c 3; !c";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let ast = parse src in
+      Alcotest.(check bool)
+        (Printf.sprintf "typechecks: %s" src)
+        true
+        (Infer.typechecks ~hooks:Rules.cn_hooks ~poly:true cn ast);
+      match Eval.run cn ast with
+      | Eval.Value _ -> ()
+      | o ->
+          Alcotest.failf "%s: well-typed program got %a" src
+            (Eval.pp_outcome cn) o)
+    programs
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "if (C convention)" `Quick test_if;
+    Alcotest.test_case "let and lambda" `Quick test_let_and_lambda;
+    Alcotest.test_case "references" `Quick test_refs;
+    Alcotest.test_case "shadowing" `Quick test_shadowing;
+    Alcotest.test_case "annotation collapse" `Quick test_annotation_collapse;
+    Alcotest.test_case "annotation failure" `Quick test_annotation_failure;
+    Alcotest.test_case "assertions pass/fail" `Quick
+      test_assertion_pass_and_fail;
+    Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "ill-formed redexes are stuck" `Quick
+      test_ill_formed_stuck;
+    Alcotest.test_case "divergence runs out of fuel" `Quick test_out_of_fuel;
+    Alcotest.test_case "left-to-right evaluation" `Quick test_eval_order;
+    Alcotest.test_case "store isolation" `Quick test_store_isolation;
+    Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "well-typed programs don't get stuck" `Quick
+      test_welltyped_dont_get_stuck;
+  ]

@@ -1,0 +1,178 @@
+(* Tests for the qualifier lattice (Definitions 1-2, Figure 2). *)
+
+open Typequal
+module Sp = Lattice.Space
+module E = Lattice.Elt
+
+let q_const = Qualifier.const
+let q_dynamic = Qualifier.dynamic
+let q_nonzero = Qualifier.nonzero
+
+(* The Figure 2 lattice: const x dynamic x nonzero. *)
+let fig2 = Sp.create [ q_const; q_dynamic; q_nonzero ]
+
+let test_space_basics () =
+  Alcotest.(check int) "size" 3 (Sp.size fig2);
+  Alcotest.(check string) "qual 0" "const" (Qualifier.name (Sp.qual fig2 0));
+  Alcotest.(check bool) "mem const" true (Sp.mem fig2 "const");
+  Alcotest.(check bool) "mem bogus" false (Sp.mem fig2 "bogus");
+  Alcotest.(check int) "find nonzero" 2 (Sp.find fig2 "nonzero")
+
+let test_space_dup () =
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Lattice.Space.create: duplicate qualifier \"const\"")
+    (fun () -> ignore (Sp.create [ q_const; Qualifier.positive "const" ]))
+
+let test_space_unknown () =
+  Alcotest.check_raises "unknown qualifier"
+    (Lattice.Unknown_qualifier "frob") (fun () ->
+      ignore (Sp.find fig2 "frob"))
+
+let test_bottom_top () =
+  let bot = E.bottom fig2 and top = E.top fig2 in
+  (* bottom: positives absent, negatives present *)
+  Alcotest.(check bool) "bot has const" false (E.has_name fig2 "const" bot);
+  Alcotest.(check bool) "bot has dynamic" false (E.has_name fig2 "dynamic" bot);
+  Alcotest.(check bool) "bot has nonzero" true (E.has_name fig2 "nonzero" bot);
+  (* top: positives present, negatives absent *)
+  Alcotest.(check bool) "top has const" true (E.has_name fig2 "const" top);
+  Alcotest.(check bool) "top has dynamic" true (E.has_name fig2 "dynamic" top);
+  Alcotest.(check bool) "top has nonzero" false (E.has_name fig2 "nonzero" top);
+  Alcotest.(check bool) "bot <= top" true (E.leq fig2 bot top);
+  Alcotest.(check bool) "top <= bot implies trivial lattice" false
+    (E.leq fig2 top bot)
+
+(* Figure 2 spot checks: "moving up the lattice adds positive qualifiers or
+   removes negative qualifiers". *)
+let test_fig2_order () =
+  let nz = E.of_names_up fig2 [ "nonzero" ] in
+  (* nonzero (and nothing else positive) — this is the bottom *)
+  Alcotest.(check bool) "nonzero = bottom" true (E.equal nz (E.bottom fig2));
+  let const_nz = E.of_names_up fig2 [ "const"; "nonzero" ] in
+  let const_ = E.clear fig2 (Sp.find fig2 "nonzero") const_nz in
+  let dyn_nz = E.of_names_up fig2 [ "dynamic"; "nonzero" ] in
+  Alcotest.(check bool) "const nonzero <= const" true (E.leq fig2 const_nz const_);
+  Alcotest.(check bool) "const </= const nonzero" false (E.leq fig2 const_ const_nz);
+  Alcotest.(check bool) "nonzero <= const nonzero" true (E.leq fig2 nz const_nz);
+  Alcotest.(check bool) "const nonzero vs dynamic nonzero incomparable" false
+    (E.leq fig2 const_nz dyn_nz || E.leq fig2 dyn_nz const_nz)
+
+let test_not () =
+  (* not const: top with const pinned absent *)
+  let nc = E.not_name fig2 "const" in
+  Alcotest.(check bool) "¬const lacks const" false (E.has_name fig2 "const" nc);
+  Alcotest.(check bool) "¬const keeps dynamic" true (E.has_name fig2 "dynamic" nc);
+  Alcotest.(check bool) "¬const keeps ¬nonzero" false
+    (E.has_name fig2 "nonzero" nc);
+  (* not nonzero (negative): top with nonzero pinned *present* — asserting
+     below it REQUIRES nonzero *)
+  let nnz = E.not_name fig2 "nonzero" in
+  Alcotest.(check bool) "¬?nonzero has nonzero" true
+    (E.has_name fig2 "nonzero" nnz);
+  Alcotest.(check bool) "bottom <= ¬const" true (E.leq fig2 (E.bottom fig2) nc);
+  Alcotest.(check bool) "top </= ¬const" false (E.leq fig2 (E.top fig2) nc)
+
+(* Exhaustive lattice laws over all 8 elements of the Figure 2 lattice. *)
+let test_lattice_laws () =
+  let all = E.all fig2 in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "refl" true (E.leq fig2 a a);
+      Alcotest.(check bool) "bot <= a" true (E.leq fig2 (E.bottom fig2) a);
+      Alcotest.(check bool) "a <= top" true (E.leq fig2 a (E.top fig2)))
+    all;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = E.join fig2 a b and m = E.meet fig2 a b in
+          Alcotest.(check bool) "a <= a|b" true (E.leq fig2 a j);
+          Alcotest.(check bool) "b <= a|b" true (E.leq fig2 b j);
+          Alcotest.(check bool) "a&b <= a" true (E.leq fig2 m a);
+          Alcotest.(check bool) "a&b <= b" true (E.leq fig2 m b);
+          Alcotest.(check bool) "join comm" true
+            (E.equal j (E.join fig2 b a));
+          Alcotest.(check bool) "meet comm" true
+            (E.equal m (E.meet fig2 b a));
+          (* antisymmetry *)
+          if E.leq fig2 a b && E.leq fig2 b a then
+            Alcotest.(check bool) "antisym" true (E.equal a b);
+          (* leq iff join = b iff meet = a *)
+          Alcotest.(check bool) "leq <-> join" (E.leq fig2 a b)
+            (E.equal j b);
+          Alcotest.(check bool) "leq <-> meet" (E.leq fig2 a b)
+            (E.equal m a);
+          List.iter
+            (fun c ->
+              if E.leq fig2 a b && E.leq fig2 b c then
+                Alcotest.(check bool) "trans" true (E.leq fig2 a c);
+              (* join/meet are least/greatest bounds *)
+              if E.leq fig2 a c && E.leq fig2 b c then
+                Alcotest.(check bool) "join least" true (E.leq fig2 j c);
+              if E.leq fig2 c a && E.leq fig2 c b then
+                Alcotest.(check bool) "meet greatest" true (E.leq fig2 c m))
+            all)
+        all)
+    all
+
+let test_masked () =
+  let i_const = Sp.find fig2 "const" in
+  let mask = E.singleton_mask fig2 i_const in
+  let top = E.top fig2 and bot = E.bottom fig2 in
+  (* on the const coordinate alone, bottom <= top and not conversely *)
+  Alcotest.(check bool) "masked leq" true (E.leq_masked fig2 ~mask bot top);
+  Alcotest.(check bool) "masked gt" false (E.leq_masked fig2 ~mask top bot);
+  (* differing only outside the mask compares equal under the mask *)
+  let dyn = E.of_names_up fig2 [ "dynamic" ] in
+  Alcotest.(check bool) "outside mask ignored" true
+    (E.leq_masked fig2 ~mask dyn bot && E.leq_masked fig2 ~mask bot dyn)
+
+let test_embed () =
+  let i = Sp.find fig2 "const" in
+  let mask = E.singleton_mask fig2 i in
+  let top = E.top fig2 in
+  let e = E.embed_bottom fig2 ~mask top in
+  (* const coordinate from top (present), everything else at bottom *)
+  Alcotest.(check bool) "const kept" true (E.has fig2 i e);
+  Alcotest.(check bool) "dynamic dropped" false (E.has_name fig2 "dynamic" e);
+  Alcotest.(check bool) "nonzero at bottom (present)" true
+    (E.has_name fig2 "nonzero" e);
+  let e' = E.embed_top fig2 ~mask (E.bottom fig2) in
+  Alcotest.(check bool) "const absent kept" false (E.has fig2 i e');
+  Alcotest.(check bool) "dynamic at top" true (E.has_name fig2 "dynamic" e')
+
+let test_annot_assert_builders () =
+  (* annotation: built up from bottom *)
+  let a = E.of_names_up fig2 [ "const" ] in
+  Alcotest.(check bool) "annot const" true (E.has_name fig2 "const" a);
+  Alcotest.(check bool) "annot keeps nonzero (bottom)" true
+    (E.has_name fig2 "nonzero" a);
+  (* assertion bound: built down from top *)
+  let b = E.of_names_bound fig2 [ "const" ] in
+  Alcotest.(check bool) "bound forbids const" false (E.has_name fig2 "const" b);
+  Alcotest.(check bool) "bound keeps dynamic" true (E.has_name fig2 "dynamic" b)
+
+let test_max_size () =
+  let quals = List.init 61 (fun i -> Qualifier.positive (Printf.sprintf "q%d" i)) in
+  Alcotest.check_raises "too many qualifiers"
+    (Invalid_argument "Lattice.Space.create: at most 60 qualifiers")
+    (fun () -> ignore (Sp.create quals));
+  (* exactly 60 is fine *)
+  let sp = Sp.create (List.filteri (fun i _ -> i < 60) quals) in
+  Alcotest.(check int) "60 ok" 60 (Sp.size sp)
+
+let tests =
+  [
+    Alcotest.test_case "space basics" `Quick test_space_basics;
+    Alcotest.test_case "duplicate qualifier rejected" `Quick test_space_dup;
+    Alcotest.test_case "unknown qualifier raises" `Quick test_space_unknown;
+    Alcotest.test_case "bottom and top" `Quick test_bottom_top;
+    Alcotest.test_case "figure 2 ordering" `Quick test_fig2_order;
+    Alcotest.test_case "not_ (the paper's ¬q)" `Quick test_not;
+    Alcotest.test_case "lattice laws (exhaustive)" `Quick test_lattice_laws;
+    Alcotest.test_case "masked comparison" `Quick test_masked;
+    Alcotest.test_case "embeddings" `Quick test_embed;
+    Alcotest.test_case "annotation/assertion builders" `Quick
+      test_annot_assert_builders;
+    Alcotest.test_case "space size limit" `Quick test_max_size;
+  ]

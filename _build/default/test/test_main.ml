@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "typequal"
+    [
+      ("lattice", Test_lattice.tests);
+      ("solver", Test_solver.tests);
+      ("lambda", Test_lambda.tests);
+      ("cfront", Test_cfront.tests);
+      ("cqual", Test_cqual.tests);
+      ("eval", Test_eval.tests);
+      ("flow", Test_flow.tests);
+      ("properties", Test_props.tests);
+    ]
