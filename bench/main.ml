@@ -3,7 +3,7 @@
    scaling/overhead claims of the text and the ablations of DESIGN.md.
 
    Sections (run all by default, or select: table1 table2 figure6 scaling
-   ablation extensions micro):
+   ablation solver extensions micro):
 
      table1  — the benchmark suite (paper Table 1)
      table2  — compile/mono/poly times (avg of 5, like the paper) and
@@ -14,12 +14,103 @@
                linearly" and "polymorphic at most 3x monomorphic"
      ablation— (a) unsound covariant ref vs (SubRef); (b) struct field
                sharing off; (c) worklist vs naive solver
+     solver  — online cycle elimination + incremental re-solve vs the
+               seed solver (full re-solve per query, no unification) on
+               cyclic / chain / polymorphic-instantiation workloads;
+               also runs under `ablation` and `micro`
      extensions — polymorphic recursion (Section 4.3's wish) and scheme
                simplification (Section 6's open problem)
      micro   — Bechamel micro-benchmarks of the solver and both inference
-               modes *)
+               modes
+
+   Every section that runs records wall times, sizes and solver stats
+   into BENCH_solver.json (machine-readable, tracked across PRs). *)
 
 open Cqual
+module TS = Typequal.Solver
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_solver.json                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled JSON (no json library in the dependency set): every bench
+   section that runs records its wall times, sizes and solver stats here,
+   and the accumulated object is written out at exit so the perf
+   trajectory is tracked across PRs. *)
+type json =
+  | Jraw of string
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let rec pp_json buf = function
+  | Jraw s -> Buffer.add_string buf s
+  | Jstr s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | Jlist l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          pp_json buf x)
+        l;
+      Buffer.add_char buf ']'
+  | Jobj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pp_json buf (Jstr k);
+          Buffer.add_char buf ':';
+          pp_json buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let jf v = Jraw (Printf.sprintf "%.6f" v)
+let ji (i : int) = Jraw (string_of_int i)
+let jb b = Jraw (if b then "true" else "false")
+
+let jstats (s : TS.stats) =
+  Jobj
+    [
+      ("vars_created", ji s.TS.vars_created);
+      ("vars_unified", ji s.TS.vars_unified);
+      ("edges_added", ji s.TS.edges_added);
+      ("edges_deduped", ji s.TS.edges_deduped);
+      ("cycles_collapsed", ji s.TS.cycles_collapsed);
+      ("incr_solves", ji s.TS.incr_solves);
+      ("full_solves", ji s.TS.full_solves);
+      ("worklist_pops", ji s.TS.worklist_pops);
+    ]
+
+let bench_sections : (string * json) list ref = ref []
+let record_section name j = bench_sections := (name, j) :: !bench_sections
+
+let write_json () =
+  match !bench_sections with
+  | [] -> ()
+  | secs ->
+      let buf = Buffer.create 4096 in
+      pp_json buf
+        (Jobj
+           [
+             ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+             ("sections", Jobj (List.rev secs));
+           ]);
+      let oc = open_out "BENCH_solver.json" in
+      output_string oc (Buffer.contents buf);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.pr "@.wrote BENCH_solver.json@."
 
 let paper_table2 =
   (* the paper's reported numbers, for side-by-side shape comparison:
@@ -70,37 +161,58 @@ type t2row = {
 }
 
 let table2_rows ?(runs = 5) () : t2row list =
-  List.map
-    (fun (b : Cbench.Suite.bench) ->
-      let src = Cbench.Suite.source_of b in
-      let compile_s = time_avg runs (fun () -> Driver.compile src) in
-      let prog = Driver.compile src in
-      let mono_s =
-        time_avg runs (fun () ->
-            let env, ifaces = Analysis.run Analysis.Mono prog in
-            Report.measure env ifaces)
-      in
-      let poly_s =
-        time_avg runs (fun () ->
-            let env, ifaces = Analysis.run Analysis.Poly prog in
-            Report.measure env ifaces)
-      in
-      let env_m, if_m = Analysis.run Analysis.Mono prog in
-      let rm = Report.measure env_m if_m in
-      let env_p, if_p = Analysis.run Analysis.Poly prog in
-      let rp = Report.measure env_p if_p in
-      {
-        name = b.b_name;
-        compile_s;
-        mono_s;
-        poly_s;
-        declared = rm.Report.declared;
-        mono = rm.Report.possible;
-        poly = rp.Report.possible;
-        total = rm.Report.total;
-        errors = rm.Report.type_errors + rp.Report.type_errors;
-      })
-    Cbench.Suite.table1
+  let jrows = ref [] in
+  let rows =
+    List.map
+      (fun (b : Cbench.Suite.bench) ->
+        let src = Cbench.Suite.source_of b in
+        let compile_s = time_avg runs (fun () -> Driver.compile src) in
+        let prog = Driver.compile src in
+        let mono_s =
+          time_avg runs (fun () ->
+              let env, ifaces = Analysis.run Analysis.Mono prog in
+              Report.measure env ifaces)
+        in
+        let poly_s =
+          time_avg runs (fun () ->
+              let env, ifaces = Analysis.run Analysis.Poly prog in
+              Report.measure env ifaces)
+        in
+        let env_m, if_m = Analysis.run Analysis.Mono prog in
+        let rm = Report.measure env_m if_m in
+        let env_p, if_p = Analysis.run Analysis.Poly prog in
+        let rp = Report.measure env_p if_p in
+        jrows :=
+          Jobj
+            [
+              ("name", Jstr b.b_name);
+              ("lines", ji b.b_lines);
+              ("compile_s", jf compile_s);
+              ("mono_s", jf mono_s);
+              ("poly_s", jf poly_s);
+              ("declared", ji rm.Report.declared);
+              ("mono", ji rm.Report.possible);
+              ("poly", ji rp.Report.possible);
+              ("total", ji rm.Report.total);
+              ("mono_solver", jstats (Analysis.stats env_m));
+              ("poly_solver", jstats (Analysis.stats env_p));
+            ]
+          :: !jrows;
+        {
+          name = b.b_name;
+          compile_s;
+          mono_s;
+          poly_s;
+          declared = rm.Report.declared;
+          mono = rm.Report.possible;
+          poly = rp.Report.possible;
+          total = rm.Report.total;
+          errors = rm.Report.type_errors + rp.Report.type_errors;
+        })
+      Cbench.Suite.table1
+  in
+  record_section "table2" (Jlist (List.rev !jrows));
+  rows
 
 let table2 rows =
   Fmt.pr
@@ -205,6 +317,7 @@ let scaling () =
   Fmt.pr "%8s %8s %10s %10s %10s %13s@." "lines" "funcs" "mono(s)" "poly(s)"
     "poly/mono" "us/line(mono)";
   let sizes = [ 1000; 2000; 4000; 8000; 16000; 32000 ] in
+  let jrows = ref [] in
   let per_line =
     List.map
       (fun n ->
@@ -221,12 +334,25 @@ let scaling () =
               let env, ifaces = Analysis.run Analysis.Poly prog in
               Report.measure env ifaces)
         in
+        let env, ifaces = Analysis.run Analysis.Poly prog in
+        ignore (Report.measure env ifaces);
+        jrows :=
+          Jobj
+            [
+              ("lines", ji n);
+              ("functions", ji nfun);
+              ("mono_s", jf mono_s);
+              ("poly_s", jf poly_s);
+              ("poly_solver", jstats (Analysis.stats env));
+            ]
+          :: !jrows;
         Fmt.pr "%8d %8d %10.3f %10.3f %10.2f %13.2f@." n nfun mono_s poly_s
           (poly_s /. mono_s)
           (mono_s /. float n *. 1e6);
         (n, mono_s, poly_s))
       sizes
   in
+  record_section "scaling" (Jlist (List.rev !jrows));
   match (List.hd per_line, List.nth per_line (List.length per_line - 1)) with
   | (n0, m0, _), (n1, m1, _) ->
       let r0 = m0 /. float n0 and r1 = m1 /. float n1 in
@@ -310,9 +436,143 @@ let ablation () =
   let t_work = time_avg 3 (fun () -> S.solve_least st) in
   let t_naive = time_avg 3 (fun () -> S.solve_least_naive st) in
   Fmt.pr "    20k vars / 20k edges: worklist %.4fs, naive %.4fs (%.1fx)@."
-    t_work t_naive (t_naive /. t_work)
+    t_work t_naive (t_naive /. t_work);
+  record_section "ablation"
+    (Jobj
+       [
+         ("worklist_s", jf t_work);
+         ("naive_s", jf t_naive);
+         ("solver", jstats (S.stats st));
+       ])
 
 (* ------------------------------------------------------------------ *)
+
+(* Solver ablation: cycle elimination + incremental re-solving vs the
+   seed solver's behavior (no unification, full re-solve after every
+   constraint addition). Each workload interleaves constraint additions
+   with solution queries, which is exactly the access pattern inference
+   produces: generate some constraints, classify some variables, repeat. *)
+let solver_ablation () =
+  Fmt.pr
+    "@.=== Solver ablation: online cycle elimination + incremental solve \
+     ===@.";
+  let sp = Analysis.const_space in
+  let top = Typequal.Lattice.Elt.top sp in
+  let create = function
+    | `Seed -> TS.create ~cycle_elim:false sp
+    | `Optimized -> TS.create ~cycle_elim:true sp
+  in
+  (* the seed solver invalidated everything on any addition and re-ran the
+     full least+greatest fixpoint at the next query *)
+  let query strategy st v =
+    (match strategy with
+    | `Seed -> ignore (TS.solve_from_scratch st)
+    | `Optimized -> ());
+    ignore (TS.least st v)
+  in
+  let cyclic strategy =
+    (* mutual-subtyping pairs chained together: the kappa1 <= kappa2 <=
+       kappa1 shape ref cells produce constantly *)
+    let n = 3000 and stride = 30 in
+    let st = create strategy in
+    let vars = Array.init n (fun _ -> TS.fresh st) in
+    for i = 0 to n - 2 do
+      TS.add_leq_vv st vars.(i) vars.(i + 1);
+      if i mod 2 = 0 then TS.add_leq_vv st vars.(i + 1) vars.(i);
+      if i mod 100 = 0 then TS.add_leq_cv st top vars.(i);
+      if i mod stride = 0 then query strategy st vars.(i)
+    done;
+    st
+  in
+  let chain strategy =
+    (* acyclic control: cycle elimination must never hurt *)
+    let n = 3000 and stride = 30 in
+    let st = create strategy in
+    let vars = Array.init n (fun _ -> TS.fresh st) in
+    TS.add_leq_cv st top vars.(0);
+    for i = 0 to n - 2 do
+      TS.add_leq_vv st vars.(i) vars.(i + 1);
+      if i mod stride = 0 then query strategy st vars.(i + 1)
+    done;
+    st
+  in
+  let poly strategy =
+    (* a scheme whose body carries an internal two-cycle, instantiated
+       repeatedly against one shared variable — polymorphic instantiation's
+       signature workload *)
+    let st = create strategy in
+    let shared = TS.fresh st in
+    let (g, a, b), atoms =
+      TS.recording st (fun () ->
+          let g = TS.fresh st and a = TS.fresh st and b = TS.fresh st in
+          TS.add_leq_vv st g a;
+          TS.add_leq_vv st a b;
+          TS.add_leq_vv st b a;
+          TS.add_leq_vv st b shared;
+          (g, a, b))
+    in
+    let sch = TS.make_scheme ~locals:[ g; a; b ] ~atoms in
+    for i = 0 to 999 do
+      let rn = TS.instantiate st sch in
+      TS.add_leq_cv st top (rn g);
+      if i mod 10 = 0 then query strategy st shared
+    done;
+    st
+  in
+  let workloads =
+    [ ("cyclic", cyclic, true); ("chain", chain, false); ("poly", poly, true) ]
+  in
+  Fmt.pr "%-8s %12s %12s %9s@." "workload" "seed(s)" "optimized(s)" "speedup";
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+  let jrows =
+    List.map
+      (fun (name, wl, want_2x) ->
+        let seed_s = time_avg 3 (fun () -> wl `Seed) in
+        let opt_s = time_avg 3 (fun () -> wl `Optimized) in
+        let stats = TS.stats (wl `Optimized) in
+        Fmt.pr "%-8s %12.4f %12.4f %8.1fx@." name seed_s opt_s
+          (seed_s /. opt_s);
+        (name, seed_s, opt_s, want_2x, stats))
+      workloads
+  in
+  List.iter
+    (fun (name, seed_s, opt_s, want_2x, _) ->
+      check
+        (Printf.sprintf "%s: optimized never slower" name)
+        (opt_s <= seed_s *. 1.05)
+        (Printf.sprintf " (%.4fs vs %.4fs)" opt_s seed_s);
+      if want_2x then
+        check
+          (Printf.sprintf "%s: optimized >= 2x faster" name)
+          (seed_s /. opt_s >= 2.)
+          (Printf.sprintf " measured %.1fx" (seed_s /. opt_s)))
+    jrows;
+  Fmt.pr "%s@."
+    (if !ok then "ALL SOLVER ABLATION CHECKS PASSED"
+     else "SOLVER ABLATION CHECKS FAILED");
+  record_section "solver_ablation"
+    (Jobj
+       [
+         ( "workloads",
+           Jlist
+             (List.map
+                (fun (name, seed_s, opt_s, want_2x, stats) ->
+                  Jobj
+                    [
+                      ("name", Jstr name);
+                      ("seed_s", jf seed_s);
+                      ("optimized_s", jf opt_s);
+                      ("speedup", jf (seed_s /. opt_s));
+                      ("required_2x", jb want_2x);
+                      ("solver", jstats stats);
+                    ])
+                jrows) );
+         ("all_checks_passed", jb !ok);
+       ])
 
 let micro () =
   Fmt.pr "@.=== Bechamel micro-benchmarks ===@.";
@@ -369,6 +629,7 @@ let micro () =
   let res = Analyze.all ols Instance.monotonic_clock raw in
   let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) res [] in
   Fmt.pr "%-40s %12s@." "benchmark" "time/run";
+  let jrows = ref [] in
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
@@ -379,9 +640,11 @@ let micro () =
             else if ns > 1e3 then Fmt.pf ppf "%9.3f us" (ns /. 1e3)
             else Fmt.pf ppf "%9.1f ns" ns
           in
+          jrows := Jobj [ ("name", Jstr name); ("ns_per_run", jf ns) ] :: !jrows;
           Fmt.pr "%-40s %a@." name pp ns
       | _ -> Fmt.pr "%-40s (no estimate)@." name)
-    (List.sort compare items)
+    (List.sort compare items);
+  record_section "micro" (Jlist (List.rev !jrows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -432,5 +695,7 @@ let () =
   end;
   if want "scaling" then scaling ();
   if want "ablation" then ablation ();
+  if want "ablation" || want "micro" || want "solver" then solver_ablation ();
   if want "extensions" then extensions ();
-  if want "micro" then micro ()
+  if want "micro" then micro ();
+  write_json ()

@@ -21,12 +21,14 @@ let pp_mode ppf = function
   | Analysis.Poly -> Fmt.string ppf "polymorphic"
   | Analysis.Polyrec -> Fmt.string ppf "polymorphic-recursive"
 
-let run_one ~rules ~positions mode name src =
+let run_one ~rules ~positions ~stats mode name src =
   let r = Driver.run_source ~mode ~rules src in
   let res = r.Driver.results in
   Fmt.pr "=== %s (%a) ===@." name pp_mode mode;
   Fmt.pr "lines: %d, functions: %d, qualifier variables: %d@." r.Driver.lines
     r.Driver.n_functions r.Driver.n_constraints;
+  if stats then
+    Fmt.pr "solver: %a@." Typequal.Solver.pp_stats r.Driver.solver_stats;
   Fmt.pr
     "interesting const positions: %d total; %d declared, %d possible (%d \
      must-const, %d could-be-either), %d must-not@."
@@ -69,7 +71,7 @@ let run_flow name src insensitive =
         1
       end
 
-let main file bench mode positions taint flow insensitive =
+let main file bench mode positions taint flow insensitive stats =
   let name, src =
     match (file, bench) with
     | Some f, _ -> (f, read_file f)
@@ -103,10 +105,10 @@ let main file bench mode positions taint flow insensitive =
     match
       let errs =
         match mode with
-        | Some m -> run_one ~rules ~positions m name src
+        | Some m -> run_one ~rules ~positions ~stats m name src
         | None ->
-            let e1 = run_one ~rules ~positions Analysis.Mono name src in
-            let e2 = run_one ~rules ~positions Analysis.Poly name src in
+            let e1 = run_one ~rules ~positions ~stats Analysis.Mono name src in
+            let e2 = run_one ~rules ~positions ~stats Analysis.Poly name src in
             e1 + e2
       in
       errs
@@ -163,10 +165,19 @@ let insensitive =
     & info [ "insensitive" ]
         ~doc:"With --flow: use the flow-insensitive baseline")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print constraint-solver statistics (unifications, edge dedup, \
+              cycle collapses, worklist pops)")
+
 let cmd =
   let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
   Cmd.v
     (Cmd.info "cqualc" ~doc)
-    Term.(const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive)
+    Term.(
+      const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
+      $ stats)
 
 let () = exit (Cmd.eval' cmd)

@@ -27,7 +27,7 @@ let space_of = function
   | SFig2 -> (Rules.fig2_space, Rules.fig2_hooks)
   | STaint -> (Rules.taint_space, Rules.taint_hooks)
 
-let main expr file poly run_it spacekind =
+let main expr file poly run_it spacekind stats =
   let src =
     match (expr, file) with
     | Some e, _ -> e
@@ -49,6 +49,8 @@ let main expr file poly run_it spacekind =
           exit 1
       | Ok r ->
           Fmt.pr "type: %a@." (Qtype.pp_solved r.Infer.store) r.Infer.qtyp;
+          if stats then
+            Fmt.pr "solver: %a@." Typequal.Solver.pp_stats (Infer.stats r);
           if run_it then begin
             let out = Eval.run space ast in
             Fmt.pr "value: %a@." (Eval.pp_outcome space) out
@@ -88,9 +90,15 @@ let spacekind =
     & info [ "space" ] ~docv:"SPACE"
         ~doc:"Qualifier space: const, nonzero, binding-time, cn (const+nonzero), fig2, taint")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print constraint-solver statistics after checking")
+
 let cmd =
   let doc = "qualified type inference for the example language (PLDI 1999)" in
   Cmd.v (Cmd.info "qualc" ~doc)
-    Term.(const main $ expr $ file $ poly $ run_it $ spacekind)
+    Term.(const main $ expr $ file $ poly $ run_it $ spacekind $ stats)
 
 let () = exit (Cmd.eval cmd)

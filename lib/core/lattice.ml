@@ -68,6 +68,12 @@ module Elt = struct
 
   let full_mask sp = (1 lsl Space.size sp) - 1
 
+  (* Does [mask] cover every coordinate of the space? Full-mask relations
+     equate variables when they form a cycle; masked ones never do. *)
+  let is_full_mask sp mask =
+    let full = full_mask sp in
+    mask land full = full
+
   (* Bottom of L: every positive qualifier absent, every negative present
      (moving up the lattice adds positive or removes negative, Fig. 2). *)
   let bottom sp = sp.Space.neg_mask

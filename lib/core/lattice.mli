@@ -43,6 +43,10 @@ module Elt : sig
 
   val full_mask : Space.t -> int
 
+  val is_full_mask : Space.t -> int -> bool
+  (** does the mask cover every coordinate of the space? (full-mask
+      [var <= var] edges are the ones eligible for cycle collapse) *)
+
   val bottom : Space.t -> t
   (** every positive qualifier absent, every negative present *)
 

@@ -22,12 +22,34 @@
     least solution already has it, {e forced down} (must-not-const) when
     even the greatest solution lacks it, and {e unconstrained} otherwise.
 
+    Performance architecture (see DESIGN.md, "Solver architecture"):
+
+    - Variables are union-find nodes. When [add_leq_vv] closes a cycle of
+      full-mask edges — detected online by a bounded path search, in the
+      style of partial online cycle elimination for inclusion constraints —
+      the strongly-connected component is unified into one representative,
+      merging bounds, edges and provenance. All members of an SCC share one
+      solution, so this is exact. Masked edges never trigger unification
+      (two variables related on a strict subset of coordinates may differ
+      on the rest).
+    - Edges are deduplicated on insertion, hash-keyed by
+      [(source, target, mask)] over representatives, so repeated scheme
+      instantiations against the same variables stop growing edge lists.
+    - Solving is incremental: a dirty set tracks representatives whose
+      bounds or incident edges changed since the last [solve]; worklists
+      seed from the dirty set, and [lo]/[hi] are updated monotonically
+      ([lo] only rises, [hi] only falls — sound because constraints are
+      only ever added). Violations are likewise monotone and accumulate in
+      a persistent error table exposed via {!last_errors}.
+
     Polymorphism support: constraint sets can be captured while they are
     generated ({!recording}) and later re-instantiated under a renaming of
     their local variables ({!instantiate}), implementing the constrained
     type schemes [forall k. rho \ C] of Section 3.2 (with the existential
     binding of purely-local variables realized by renaming {e all} scheme
-    locals at each instantiation). *)
+    locals at each instantiation). Atoms store the original variables, not
+    representatives, so instantiation re-derives any unifications for the
+    fresh copies. *)
 
 module Elt = Lattice.Elt
 module Space = Lattice.Space
@@ -36,7 +58,11 @@ type reason = string option
 
 type var = {
   id : int;
+      (* stable creation-order id; kept as the first field so structural
+         compare decides on it before reaching the cyclic [parent] *)
   vname : string;
+  mutable parent : var;  (* union-find: self iff representative *)
+  mutable rank : int;
   mutable lo_bound : Elt.t;  (* join of constant lower bounds (embedded) *)
   mutable hi_bound : Elt.t;  (* meet of constant upper bounds (embedded) *)
   mutable lo : Elt.t;        (* least solution, valid after [solve] *)
@@ -46,6 +72,16 @@ type var = {
   mutable lo_reasons : (Elt.t * int * reason) list;  (* provenance *)
   mutable hi_reasons : (Elt.t * int * reason) list;
 }
+
+let rec find v =
+  if v.parent == v then v
+  else begin
+    let r = find v.parent in
+    v.parent <- r;
+    r
+  end
+
+let repr = find
 
 type atom =
   | Avc of var * Elt.t * int * reason  (* var <= const on mask *)
@@ -57,34 +93,95 @@ type error = {
   err_msg : string;
 }
 
-type t = {
-  space : Space.t;
-  mutable vars : var list;  (* in reverse creation order *)
-  mutable nvars : int;
-  mutable ground_errors : error list;
-  mutable recorders : atom list ref list;
-  mutable solved : bool;
+type stats = {
+  vars_created : int;
+  vars_unified : int;
+  edges_added : int;
+  edges_deduped : int;
+  cycles_collapsed : int;
+  incr_solves : int;
+  full_solves : int;
+  worklist_pops : int;
 }
 
-let create space =
+type t = {
+  space : Space.t;
+  mutable vars : var list;  (* in reverse creation order, absorbed included *)
+  mutable nvars : int;
+  mutable ground_errors : error list;
+  errors : (int, error) Hashtbl.t;
+      (* persistent bound-violation table, keyed by the id of the
+         representative at detection time; monotone since constraints are
+         only ever added *)
+  mutable recorders : atom list ref list;
+  mutable log : atom list;
+      (* every atom ever added, original variables — replayed by
+         [naive_bounds] as an independent oracle *)
+  mutable solved : bool;
+  dirty : (int, var) Hashtbl.t;
+  edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, mask) *)
+  cycle_elim : bool;
+  mutable s_unified : int;
+  mutable s_edges : int;
+  mutable s_dedup : int;
+  mutable s_cycles : int;
+  mutable s_incr : int;
+  mutable s_full : int;
+  mutable s_pops : int;
+}
+
+let create ?(cycle_elim = true) space =
   {
     space;
     vars = [];
     nvars = 0;
     ground_errors = [];
+    errors = Hashtbl.create 16;
     recorders = [];
+    log = [];
     solved = false;
+    dirty = Hashtbl.create 64;
+    edge_seen = Hashtbl.create 256;
+    cycle_elim;
+    s_unified = 0;
+    s_edges = 0;
+    s_dedup = 0;
+    s_cycles = 0;
+    s_incr = 0;
+    s_full = 0;
+    s_pops = 0;
   }
 
 let space t = t.space
 let num_vars t = t.nvars
 
+let stats t =
+  {
+    vars_created = t.nvars;
+    vars_unified = t.s_unified;
+    edges_added = t.s_edges;
+    edges_deduped = t.s_dedup;
+    cycles_collapsed = t.s_cycles;
+    incr_solves = t.s_incr;
+    full_solves = t.s_full;
+    worklist_pops = t.s_pops;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "vars %d (%d unified), edges %d (%d deduped), cycles %d, solves %d incr + \
+     %d full, %d worklist pops"
+    s.vars_created s.vars_unified s.edges_added s.edges_deduped
+    s.cycles_collapsed s.incr_solves s.full_solves s.worklist_pops
+
 let fresh ?(name = "q") t =
   let sp = t.space in
-  let v =
+  let rec v =
     {
       id = t.nvars;
       vname = name;
+      parent = v;
+      rank = 0;
       lo_bound = Elt.bottom sp;
       hi_bound = Elt.top sp;
       lo = Elt.bottom sp;
@@ -97,7 +194,8 @@ let fresh ?(name = "q") t =
   in
   t.nvars <- t.nvars + 1;
   t.vars <- v :: t.vars;
-  t.solved <- false;
+  (* a fresh variable has no constraints: its current (lo, hi) is already
+     its solution, so [solved] and the dirty set are untouched *)
   v
 
 let var_id v = v.id
@@ -106,30 +204,159 @@ let pp_var ppf v = Fmt.pf ppf "%s#%d" v.vname v.id
 
 let record t atom = List.iter (fun r -> r := atom :: !r) t.recorders
 
+let log_atom t atom =
+  record t atom;
+  t.log <- atom :: t.log
+
+let mark_dirty t v = Hashtbl.replace t.dirty v.id v
+
 (* var <= const, restricted to the coordinates in [mask]. *)
 let add_leq_vc ?reason ?mask t v c =
   let mask = Option.value mask ~default:(Elt.full_mask t.space) in
-  t.solved <- false;
-  record t (Avc (v, c, mask, reason));
-  v.hi_bound <- Elt.meet t.space v.hi_bound (Elt.embed_top t.space ~mask c);
-  v.hi_reasons <- (c, mask, reason) :: v.hi_reasons
+  log_atom t (Avc (v, c, mask, reason));
+  let r = find v in
+  r.hi_reasons <- (c, mask, reason) :: r.hi_reasons;
+  let hb' = Elt.meet t.space r.hi_bound (Elt.embed_top t.space ~mask c) in
+  if not (Elt.equal hb' r.hi_bound) then begin
+    r.hi_bound <- hb';
+    r.hi <- Elt.meet t.space r.hi hb';
+    t.solved <- false;
+    mark_dirty t r
+  end
 
 (* const <= var, restricted to [mask]. *)
 let add_leq_cv ?reason ?mask t c v =
   let mask = Option.value mask ~default:(Elt.full_mask t.space) in
-  t.solved <- false;
-  record t (Acv (c, v, mask, reason));
-  v.lo_bound <- Elt.join t.space v.lo_bound (Elt.embed_bottom t.space ~mask c);
-  v.lo_reasons <- (c, mask, reason) :: v.lo_reasons
+  log_atom t (Acv (c, v, mask, reason));
+  let r = find v in
+  r.lo_reasons <- (c, mask, reason) :: r.lo_reasons;
+  let lb' = Elt.join t.space r.lo_bound (Elt.embed_bottom t.space ~mask c) in
+  if not (Elt.equal lb' r.lo_bound) then begin
+    r.lo_bound <- lb';
+    r.lo <- Elt.join t.space r.lo lb';
+    t.solved <- false;
+    mark_dirty t r
+  end
+
+(* Merge representative [o] into representative [r] (rank order decided by
+   the caller): bounds join/meet, provenance concatenates, and [o]'s edges
+   migrate to [r] with self-loops dropped and duplicates skipped. Stale
+   entries naming [o] in {e other} variables' lists are left in place —
+   propagation resolves every edge endpoint through [find]. *)
+let absorb t r o =
+  let sp = t.space in
+  o.parent <- r;
+  r.lo_bound <- Elt.join sp r.lo_bound o.lo_bound;
+  r.hi_bound <- Elt.meet sp r.hi_bound o.hi_bound;
+  r.lo <- Elt.join sp r.lo o.lo;
+  r.hi <- Elt.meet sp r.hi o.hi;
+  r.lo_reasons <- List.rev_append o.lo_reasons r.lo_reasons;
+  r.hi_reasons <- List.rev_append o.hi_reasons r.hi_reasons;
+  List.iter
+    (fun (s, m, reason) ->
+      let s = find s in
+      if s != r then begin
+        let k = (r.id, s.id, m) in
+        if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
+        else begin
+          Hashtbl.add t.edge_seen k ();
+          r.succs <- (s, m, reason) :: r.succs
+        end
+      end)
+    o.succs;
+  List.iter
+    (fun (p, m, reason) ->
+      let p = find p in
+      if p != r then begin
+        let k = (p.id, r.id, m) in
+        if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
+        else begin
+          Hashtbl.add t.edge_seen k ();
+          r.preds <- (p, m, reason) :: r.preds
+        end
+      end)
+    o.preds;
+  o.succs <- [];
+  o.preds <- [];
+  t.s_unified <- t.s_unified + 1;
+  Hashtbl.remove t.dirty o.id;
+  mark_dirty t r
+
+let union t a b =
+  let a = find a and b = find b in
+  if a == b then a
+  else begin
+    let r, o = if a.rank >= b.rank then (a, b) else (b, a) in
+    if r.rank = o.rank then r.rank <- r.rank + 1;
+    absorb t r o;
+    r
+  end
+
+(* Bounded DFS over full-mask edges from [src] looking for [dst]; returns
+   the path of representatives (src first, dst last). The budget bounds
+   total edge traversals, keeping cycle detection cheap on large graphs —
+   partial online cycle elimination: missing a long cycle only costs
+   propagation work, never soundness. *)
+let cycle_budget = 64
+
+let find_path t src dst =
+  let full = Elt.full_mask t.space in
+  let seen = Hashtbl.create 16 in
+  let steps = ref 0 in
+  let rec go v =
+    let v = find v in
+    if v == dst then Some [ v ]
+    else if Hashtbl.mem seen v.id || !steps >= cycle_budget then None
+    else begin
+      Hashtbl.add seen v.id ();
+      let rec try_edges = function
+        | [] -> None
+        | (s, m, _) :: rest ->
+            incr steps;
+            if m land full = full then (
+              match go s with
+              | Some p -> Some (v :: p)
+              | None -> try_edges rest)
+            else try_edges rest
+      in
+      try_edges v.succs
+    end
+  in
+  go src
+
+(* The edge [ra <= rb] was just inserted; a path [rb ~> ra] over full-mask
+   edges closes a cycle, and every variable on it takes the same value in
+   any solution — unify the lot. *)
+let try_collapse t ra rb =
+  match find_path t rb ra with
+  | None | Some [] -> ()
+  | Some (first :: rest) ->
+      t.s_cycles <- t.s_cycles + 1;
+      ignore (List.fold_left (fun acc v -> union t acc v) first rest)
 
 (* var <= var, restricted to [mask]. *)
 let add_leq_vv ?reason ?mask t a b =
   if a != b then begin
     let mask = Option.value mask ~default:(Elt.full_mask t.space) in
-    t.solved <- false;
-    record t (Avv (a, b, mask, reason));
-    a.succs <- (b, mask, reason) :: a.succs;
-    b.preds <- (a, mask, reason) :: b.preds
+    log_atom t (Avv (a, b, mask, reason));
+    let ra = find a and rb = find b in
+    if ra != rb then begin
+      let k = (ra.id, rb.id, mask) in
+      if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
+        (* the identical edge already exists between these representatives:
+           the system is unchanged, [solved] stays valid *)
+      else begin
+        Hashtbl.add t.edge_seen k ();
+        t.s_edges <- t.s_edges + 1;
+        ra.succs <- (rb, mask, reason) :: ra.succs;
+        rb.preds <- (ra, mask, reason) :: rb.preds;
+        t.solved <- false;
+        mark_dirty t ra;
+        mark_dirty t rb;
+        if t.cycle_elim && Elt.is_full_mask t.space mask then
+          try_collapse t ra rb
+      end
+    end
   end
 
 (* Ground constraint const <= const: checked immediately (mask-restricted). *)
@@ -161,65 +388,67 @@ let add_eq_vc ?reason ?mask t v c =
 (* Solving                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Least solution: start every variable at the join of its constant lower
-   bounds and propagate joins along forward edges until fixpoint. *)
-let solve_least t =
+(* One worklist pass. [seed] supplies the initial frontier; propagation
+   pushes [lo] joins along forward edges and [hi] meets along reversed
+   edges. Every popped representative is appended to [touched] so the
+   caller can re-check bound violations on exactly the affected region. *)
+let propagate t ~seed ~touched =
   let sp = t.space in
-  List.iter (fun v -> v.lo <- v.lo_bound) t.vars;
   let queue = Queue.create () in
   let inq = Hashtbl.create 64 in
   let push v =
+    let v = find v in
     if not (Hashtbl.mem inq v.id) then begin
       Hashtbl.add inq v.id ();
       Queue.push v queue
     end
   in
-  List.iter push t.vars;
+  (* least pass *)
+  seed push;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     Hashtbl.remove inq v.id;
+    t.s_pops <- t.s_pops + 1;
+    touched := v :: !touched;
     List.iter
       (fun (s, mask, _) ->
-        let contrib = Elt.embed_bottom sp ~mask v.lo in
-        let lo' = Elt.join sp s.lo contrib in
-        if not (Elt.equal lo' s.lo) then begin
-          s.lo <- lo';
-          push s
+        let s = find s in
+        if s != v then begin
+          let contrib = Elt.embed_bottom sp ~mask v.lo in
+          let lo' = Elt.join sp s.lo contrib in
+          if not (Elt.equal lo' s.lo) then begin
+            s.lo <- lo';
+            push s
+          end
         end)
       v.succs
-  done
-
-(* Greatest solution: dual — meets along reversed edges. *)
-let solve_greatest t =
-  let sp = t.space in
-  List.iter (fun v -> v.hi <- v.hi_bound) t.vars;
-  let queue = Queue.create () in
-  let inq = Hashtbl.create 64 in
-  let push v =
-    if not (Hashtbl.mem inq v.id) then begin
-      Hashtbl.add inq v.id ();
-      Queue.push v queue
-    end
-  in
-  List.iter push t.vars;
+  done;
+  (* greatest pass: dual, meets along reversed edges *)
+  seed push;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     Hashtbl.remove inq v.id;
+    t.s_pops <- t.s_pops + 1;
+    touched := v :: !touched;
     List.iter
       (fun (p, mask, _) ->
-        let contrib = Elt.embed_top sp ~mask v.hi in
-        let hi' = Elt.meet sp p.hi contrib in
-        if not (Elt.equal hi' p.hi) then begin
-          p.hi <- hi';
-          push p
+        let p = find p in
+        if p != v then begin
+          let contrib = Elt.embed_top sp ~mask v.hi in
+          let hi' = Elt.meet sp p.hi contrib in
+          if not (Elt.equal hi' p.hi) then begin
+            p.hi <- hi';
+            push p
+          end
         end)
       v.preds
   done
 
 (* Explain why [v]'s least solution violates its upper bound: find the
-   offending coordinate, then walk backwards to a constant lower bound that
-   raised it. *)
+   offending coordinate, then walk backwards (BFS over a queue) to a
+   constant lower bound that raised it. *)
 let explain t v =
+  let v = find v in
   let sp = t.space in
   let bad = ref None in
   for i = 0 to Space.size sp - 1 do
@@ -237,38 +466,36 @@ let explain t v =
       let coord_of x = x land mask in
       let target = coord_of v.lo in
       (* BFS backwards for a var whose own constant lower bounds produce
-         [target] on coordinate i. *)
+         [target] on coordinate i *)
       let seen = Hashtbl.create 16 in
-      let rec search frontier =
-        match frontier with
-        | [] -> None
-        | u :: rest ->
-            if Hashtbl.mem seen u.id then search rest
-            else begin
-              Hashtbl.add seen u.id ();
-              if coord_of u.lo_bound = target && coord_of u.lo = target then
-                let reason =
-                  List.find_map
-                    (fun (c, m, r) ->
-                      if m land mask <> 0 && coord_of c = target then
-                        Some (Option.value r ~default:"constant bound")
-                      else None)
-                    u.lo_reasons
-                in
-                Some (u, Option.value reason ~default:"constant bound")
-              else
-                let preds =
-                  List.filter_map
-                    (fun (p, m, _) ->
-                      if m land mask <> 0 && coord_of p.lo = target then Some p
-                      else None)
-                    u.preds
-                in
-                search (rest @ preds)
-            end
-      in
+      let frontier = Queue.create () in
+      Queue.push v frontier;
+      let found = ref None in
+      while Option.is_none !found && not (Queue.is_empty frontier) do
+        let u = Queue.pop frontier in
+        if not (Hashtbl.mem seen u.id) then begin
+          Hashtbl.add seen u.id ();
+          if coord_of u.lo_bound = target && coord_of u.lo = target then
+            let reason =
+              List.find_map
+                (fun (c, m, r) ->
+                  if m land mask <> 0 && coord_of c = target then
+                    Some (Option.value r ~default:"constant bound")
+                  else None)
+                u.lo_reasons
+            in
+            found := Some (u, Option.value reason ~default:"constant bound")
+          else
+            List.iter
+              (fun (p, m, _) ->
+                let p = find p in
+                if m land mask <> 0 && coord_of p.lo = target then
+                  Queue.push p frontier)
+              u.preds
+        end
+      done;
       let origin =
-        match search [ v ] with
+        match !found with
         | Some (u, r) -> Fmt.str "; forced at %a (%s)" pp_var u r
         | None -> ""
       in
@@ -285,30 +512,86 @@ let explain t v =
         Fmt.(option (any " (" ++ string ++ any ")"))
         bound_reason origin
 
-(* Solve and report unsatisfiability. Computes both the least and greatest
-   solutions; satisfiability is equivalent to the least solution meeting
-   every constant upper bound. *)
-let solve t =
-  solve_least t;
-  solve_greatest t;
-  t.solved <- true;
-  let errs =
-    List.filter_map
-      (fun v ->
-        if Elt.leq t.space v.lo v.hi_bound then None
-        else Some { err_var = Some v; err_msg = explain t v })
-      t.vars
+let last_errors t =
+  let var_errs = Hashtbl.fold (fun _ e acc -> e :: acc) t.errors [] in
+  let var_errs =
+    List.sort
+      (fun a b ->
+        let id e = match e.err_var with Some v -> v.id | None -> -1 in
+        compare (id a) (id b))
+      var_errs
   in
-  let errs = List.rev_append t.ground_errors errs in
-  if errs = [] then Ok () else Error errs
+  List.rev_append t.ground_errors var_errs
+
+(* Record a violation for every representative in [touched] whose least
+   solution escapes its constant upper bound. Violations are monotone
+   (constraints are only added; [lo] only rises, [hi_bound] only falls),
+   so entries never need revisiting. [explain] runs only here, after
+   propagation has reached fixpoint, so it sees final [lo] values. *)
+let check_violations t touched =
+  List.iter
+    (fun v ->
+      if
+        (not (Hashtbl.mem t.errors v.id))
+        && not (Elt.leq t.space v.lo v.hi_bound)
+      then Hashtbl.add t.errors v.id { err_var = Some v; err_msg = explain t v })
+    touched
+
+let result_of_errors t =
+  match last_errors t with [] -> Ok () | es -> Error es
+
+(* Incremental solve: seed the worklists from the dirty set only. [lo] and
+   [hi] already reflect every bound added since the last solve (the add_*
+   functions fold new bounds in eagerly), so propagating from the dirty
+   region reaches exactly the variables whose solution can have changed. *)
+let solve t =
+  if not t.solved then begin
+    let touched = ref [] in
+    propagate t ~seed:(fun push -> Hashtbl.iter (fun _ v -> push v) t.dirty)
+      ~touched;
+    check_violations t !touched;
+    Hashtbl.reset t.dirty;
+    t.solved <- true;
+    t.s_incr <- t.s_incr + 1
+  end;
+  result_of_errors t
+
+(* Full solve: reset every representative to its bounds and propagate from
+   everywhere. The ablation baseline for incremental solving, and a
+   self-check hook (the fixpoint is unique, so the results must agree). *)
+let solve_from_scratch t =
+  List.iter
+    (fun v ->
+      if v.parent == v then begin
+        v.lo <- v.lo_bound;
+        v.hi <- v.hi_bound
+      end)
+    t.vars;
+  let touched = ref [] in
+  propagate t
+    ~seed:(fun push -> List.iter (fun v -> if v.parent == v then push v) t.vars)
+    ~touched;
+  Hashtbl.reset t.errors;
+  List.iter
+    (fun v ->
+      if
+        v.parent == v
+        && (not (Hashtbl.mem t.errors v.id))
+        && not (Elt.leq t.space v.lo v.hi_bound)
+      then Hashtbl.add t.errors v.id { err_var = Some v; err_msg = explain t v })
+    t.vars;
+  Hashtbl.reset t.dirty;
+  t.solved <- true;
+  t.s_full <- t.s_full + 1;
+  result_of_errors t
 
 let least t v =
   if not t.solved then ignore (solve t);
-  v.lo
+  (find v).lo
 
 let greatest t v =
   if not t.solved then ignore (solve t);
-  v.hi
+  (find v).hi
 
 (* Classification of one coordinate of a variable, per Section 4.4. *)
 type verdict =
@@ -318,6 +601,7 @@ type verdict =
 
 let classify t v i =
   if not t.solved then ignore (solve t);
+  let v = find v in
   let present x = Elt.has t.space i x in
   let q = Space.qual t.space i in
   (* "up" means toward the top of the coordinate's two-point lattice *)
@@ -364,7 +648,9 @@ let scheme_locals s = s.locals
 let scheme_atoms s = s.atoms
 
 (* Re-emit the scheme's constraints under a fresh renaming of its locals.
-   Returns the renaming so callers can rebuild the instantiated type. *)
+   Returns the renaming so callers can rebuild the instantiated type.
+   Atoms name original variables, so each instance re-derives its own
+   edges (and hence its own unifications) among the fresh copies. *)
 let instantiate t s =
   let map = Hashtbl.create (List.length s.locals) in
   List.iter
@@ -388,28 +674,69 @@ let pp_error ppf e = Fmt.string ppf e.err_msg
 let error_message e = e.err_msg
 
 (* ------------------------------------------------------------------ *)
-(* Naive baseline solver (ablation; see DESIGN.md)                     *)
+(* Baseline solvers (ablation; see DESIGN.md)                          *)
 (* ------------------------------------------------------------------ *)
+
+(* Forced full worklist least-solution pass (no incrementality), over
+   representatives. Kept as a benchmark arm. *)
+let solve_least t =
+  let sp = t.space in
+  let queue = Queue.create () in
+  let inq = Hashtbl.create 64 in
+  let push v =
+    if not (Hashtbl.mem inq v.id) then begin
+      Hashtbl.add inq v.id ();
+      Queue.push v queue
+    end
+  in
+  List.iter
+    (fun v ->
+      if v.parent == v then begin
+        v.lo <- v.lo_bound;
+        push v
+      end)
+    t.vars;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
+    t.s_pops <- t.s_pops + 1;
+    List.iter
+      (fun (s, mask, _) ->
+        let s = find s in
+        if s != v then begin
+          let contrib = Elt.embed_bottom sp ~mask v.lo in
+          let lo' = Elt.join sp s.lo contrib in
+          if not (Elt.equal lo' s.lo) then begin
+            s.lo <- lo';
+            push s
+          end
+        end)
+      v.succs
+  done
 
 (* Same least solution computed by round-robin iteration to fixpoint, with
    no worklist. Kept as the ablation baseline for the micro-benchmarks. *)
 let solve_least_naive t =
   let sp = t.space in
-  List.iter (fun v -> v.lo <- v.lo_bound) t.vars;
+  List.iter (fun v -> if v.parent == v then v.lo <- v.lo_bound) t.vars;
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
       (fun v ->
-        List.iter
-          (fun (s, mask, _) ->
-            let contrib = Elt.embed_bottom sp ~mask v.lo in
-            let lo' = Elt.join sp s.lo contrib in
-            if not (Elt.equal lo' s.lo) then begin
-              s.lo <- lo';
-              changed := true
-            end)
-          v.succs)
+        if v.parent == v then
+          List.iter
+            (fun (s, mask, _) ->
+              let s = find s in
+              if s != v then begin
+                let contrib = Elt.embed_bottom sp ~mask v.lo in
+                let lo' = Elt.join sp s.lo contrib in
+                if not (Elt.equal lo' s.lo) then begin
+                  s.lo <- lo';
+                  changed := true
+                end
+              end)
+            v.succs)
       t.vars
   done
 
@@ -639,6 +966,11 @@ let solve_atoms sp (atoms : atom list) : int -> Elt.t * Elt.t =
       !edges
   done;
   fun id -> (get lo bot id, get hi top id)
+
+(* Replay the full constraint log through the store-free evaluator: an
+   independent oracle for the optimized solver, keyed by original (stable)
+   variable ids. Used by the equivalence property tests. *)
+let naive_bounds t = solve_atoms t.space (List.rev t.log)
 
 (* Present a scheme as a constrained type qualifier prefix — the notation
    question raised in Section 6 ("we currently do not have a notation for

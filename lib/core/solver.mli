@@ -37,15 +37,29 @@ type error
 type t
 (** a constraint store over one qualifier space *)
 
-val create : Space.t -> t
+val create : ?cycle_elim:bool -> Space.t -> t
+(** [cycle_elim] (default [true]) enables online cycle elimination:
+    whenever a full-mask [var <= var] edge closes a cycle, the whole
+    strongly-connected component is unified into one union-find
+    representative. Disable it to get the plain worklist solver (the
+    ablation baseline). *)
+
 val space : t -> Space.t
 
 val num_vars : t -> int
 (** number of variables created so far (also a size proxy) *)
 
 val fresh : ?name:string -> t -> var
+
 val var_id : var -> int
+(** stable creation-order id; unaffected by unification *)
+
 val var_name : var -> string
+
+val repr : var -> var
+(** the variable's current union-find representative (itself unless a
+    cycle collapse merged it); solution queries resolve this internally *)
+
 val pp_var : var Fmt.t
 
 (** {1 Adding constraints}
@@ -72,7 +86,22 @@ val add_eq_vc : ?reason:string -> ?mask:int -> t -> var -> Elt.t -> unit
 val solve : t -> (unit, error list) result
 (** compute the least and greatest solutions; [Ok] iff satisfiable.
     Solving is idempotent and re-runs automatically after new constraints
-    are added. *)
+    are added. Re-solving is {e incremental}: the worklists seed from the
+    variables whose bounds or edges changed since the last solve, and
+    [lo]/[hi] are updated monotonically. *)
+
+val solve_from_scratch : t -> (unit, error list) result
+(** reset every representative to its constant bounds and solve the whole
+    system; same fixpoint as {!solve} (it is unique), kept as the
+    incremental-solving ablation baseline *)
+
+val last_errors : t -> error list
+(** the errors known from solving so far, without forcing a re-solve:
+    ground violations plus every bound violation detected by past
+    {!solve}s (violations are monotone — constraints are only ever added —
+    so this is also the error set of the current system whenever the store
+    is solved). Lets callers of {!least}/{!greatest}/{!classify} tell
+    whether the values they read come from an unsatisfiable system. *)
 
 val least : t -> var -> Elt.t
 val greatest : t -> var -> Elt.t
@@ -136,6 +165,28 @@ val solve_atoms : Space.t -> atom list -> int -> Lattice.Elt.t * Lattice.Elt.t
 (** least/greatest solutions of a bare atom list, computed locally without
     touching any store (unmentioned variables default to (bottom, top));
     used to summarize schemes in isolation *)
+
+val naive_bounds : t -> int -> Lattice.Elt.t * Lattice.Elt.t
+(** replay the store's full constraint log through {!solve_atoms}: an
+    independent oracle for the optimized solver, keyed by original
+    (stable) {!var_id}s; used by the equivalence property tests *)
+
+(** {1 Statistics} *)
+
+(** counters accumulated over the store's lifetime *)
+type stats = {
+  vars_created : int;
+  vars_unified : int;  (** absorbed into another representative *)
+  edges_added : int;
+  edges_deduped : int;  (** duplicate insertions skipped *)
+  cycles_collapsed : int;  (** cycles detected and unified online *)
+  incr_solves : int;  (** incremental {!solve} runs *)
+  full_solves : int;  (** {!solve_from_scratch} runs *)
+  worklist_pops : int;  (** total propagation steps across all solves *)
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t
 
 val pp_scheme : Space.t -> scheme Fmt.t
 (** render a constrained scheme (Section 6's presentation concern);

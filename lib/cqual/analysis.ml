@@ -828,3 +828,6 @@ let run ?rules ?field_sharing ?simplify mode prog =
   | Mono -> run_mono ?rules ?field_sharing prog
   | Poly -> run_poly ?rules ?field_sharing ?simplify prog
   | Polyrec -> run_polyrec ?rules ?field_sharing prog
+
+(** Solver statistics accumulated by the analysis (see {!Solver.stats}). *)
+let stats (env : env) = Solver.stats env.store

@@ -12,6 +12,9 @@ type run = {
   lines : int;
   n_functions : int;
   n_constraints : int;  (** number of qualifier variables, a proxy for size *)
+  solver_stats : Typequal.Solver.stats;
+      (** constraint-store counters (unifications, dedup, cycle collapses,
+          worklist pops) accumulated over the whole run *)
 }
 
 let time f =
@@ -46,6 +49,7 @@ let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
     lines = Cfront.Cprog.count_lines src;
     n_functions = List.length (Cfront.Cprog.functions prog);
     n_constraints = Typequal.Solver.num_vars env.Analysis.store;
+    solver_stats = Analysis.stats env;
   }
 
 (** Run both modes, reusing the parse: one row of Table 2. *)

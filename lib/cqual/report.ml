@@ -77,9 +77,8 @@ let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
 (** Classify every interesting position after solving. *)
 let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
   let store = env.Analysis.store in
-  let type_errors =
-    match Solver.solve store with Ok () -> 0 | Error es -> List.length es
-  in
+  ignore (Solver.solve store : (unit, Solver.error list) result);
+  let type_errors = List.length (Solver.last_errors store) in
   let qual = env.Analysis.rules.Analysis.qr_name in
   let positions =
     List.concat_map

@@ -310,3 +310,6 @@ let typechecks ?hooks ?poly ?unsound_ref ?env space e =
   match check ?hooks ?poly ?unsound_ref ?env space e with
   | Ok _ -> true
   | Error _ -> false
+
+(** Solver statistics accumulated while inferring (see {!Solver.stats}). *)
+let stats (r : result) = Solver.stats r.store

@@ -360,3 +360,93 @@ let prop_simplify_equiv =
 
 let tests =
   tests @ [ QCheck_alcotest.to_alcotest prop_simplify_equiv ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimized solver (cycle elimination + incremental) equivalence      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random interleaved add/query sequences, masked constraints included.
+   The optimized store (cycle elimination on, queries forcing incremental
+   re-solves mid-stream) must agree with (1) a cycle-elimination-off store
+   solved from scratch at the end, (2) the constraint-log replay oracle,
+   and (3) the round-robin naive least-solution pass — on satisfiability
+   and on the least/greatest solution of every variable. *)
+
+type op =
+  | OEdge of int * int * int  (* a <= b on a mask *)
+  | OLower of int * int * int  (* elt <= v on a mask *)
+  | OUpper of int * int * int  (* v <= elt on a mask *)
+  | OQuery of int
+
+let ops_gen : (int * op list) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* nvars = int_range 1 15 in
+  let v = int_bound (nvars - 1) in
+  let* ops =
+    list_size (int_bound 60)
+      (oneof
+         [
+           map3 (fun a b m -> OEdge (a, b, m)) v v (int_bound 255);
+           map3 (fun x e m -> OLower (x, e, m)) v (int_bound 255) (int_bound 255);
+           map3 (fun x e m -> OUpper (x, e, m)) v (int_bound 255) (int_bound 255);
+           map (fun x -> OQuery x) v;
+         ])
+  in
+  return (nvars, ops)
+
+let prop_optimized_equals_naive =
+  QCheck2.Test.make ~count:600
+    ~name:"optimized solver = naive baselines on random op sequences"
+    (QCheck2.Gen.pair space_gen ops_gen)
+    (fun (sp, (nvars, ops)) ->
+      let full = E.full_mask sp in
+      (* a mix of full masks (cycle-elimination eligible) and partial ones *)
+      let mask_of raw = if raw mod 3 = 0 then full else raw land full in
+      let opt = S.create ~cycle_elim:true sp in
+      let base = S.create ~cycle_elim:false sp in
+      let vo = Array.init nvars (fun _ -> S.fresh opt) in
+      let vb = Array.init nvars (fun _ -> S.fresh base) in
+      List.iter
+        (fun o ->
+          match o with
+          | OEdge (a, b, m) ->
+              let mask = mask_of m in
+              S.add_leq_vv ~mask opt vo.(a) vo.(b);
+              S.add_leq_vv ~mask base vb.(a) vb.(b)
+          | OLower (x, e, m) ->
+              let mask = mask_of m and e = e land full in
+              S.add_leq_cv ~mask opt e vo.(x);
+              S.add_leq_cv ~mask base e vb.(x)
+          | OUpper (x, e, m) ->
+              let mask = mask_of m and e = e land full in
+              S.add_leq_vc ~mask opt vo.(x) e;
+              S.add_leq_vc ~mask base vb.(x) e
+          | OQuery x ->
+              (* forces an incremental solve mid-stream in [opt] only *)
+              ignore (S.least opt vo.(x));
+              ignore (S.greatest opt vo.(x)))
+        ops;
+      let sat_opt = Result.is_ok (S.solve opt) in
+      let sat_base = Result.is_ok (S.solve_from_scratch base) in
+      let nb = S.naive_bounds opt in
+      let ok = ref (sat_opt = sat_base) in
+      Array.iteri
+        (fun i v ->
+          let l = S.least opt v and h = S.greatest opt v in
+          let bl = S.least base vb.(i) and bh = S.greatest base vb.(i) in
+          let ol, oh = nb (S.var_id v) in
+          if
+            not
+              (E.equal l bl && E.equal h bh && E.equal l ol && E.equal h oh)
+          then ok := false)
+        vo;
+      (* the round-robin pass recomputes the same least solution in place *)
+      S.solve_least_naive opt;
+      Array.iteri
+        (fun i v ->
+          if not (E.equal (S.least opt v) (S.least base vb.(i))) then
+            ok := false)
+        vo;
+      !ok)
+
+let tests = tests @ [ QCheck_alcotest.to_alcotest prop_optimized_equals_naive ]

@@ -385,3 +385,138 @@ let test_pp_scheme () =
     (String.length str > 4 && String.sub str 0 4 = "\xe2\x88\x80g")
 
 let tests = tests @ [ Alcotest.test_case "pp_scheme" `Quick test_pp_scheme ]
+
+(* ------------- union-find / cycle elimination / incremental ---------- *)
+
+let test_last_errors () =
+  let sp = space () in
+  let st = S.create sp in
+  let a = S.fresh st and b = S.fresh st in
+  S.add_leq_vv st a b;
+  ignore (S.least st a);
+  Alcotest.(check int) "no errors yet" 0 (List.length (S.last_errors st));
+  S.add_leq_cv st (const_elt sp) a;
+  S.add_leq_vc st b (E.not_name sp "const");
+  (* regression: a bare query solves silently; last_errors must expose that
+     the values come from an unsatisfiable system *)
+  ignore (S.least st b);
+  Alcotest.(check bool) "errors visible after silent query" true
+    (S.last_errors st <> []);
+  let n = List.length (S.last_errors st) in
+  ignore (S.greatest st a);
+  ignore (S.classify_name st a "const");
+  Alcotest.(check int) "stable across further queries" n
+    (List.length (S.last_errors st))
+
+let test_cycle_collapse () =
+  let sp = space () in
+  let st = S.create sp in
+  let a = S.fresh st and b = S.fresh st and c = S.fresh st in
+  let ids = List.map S.var_id [ a; b; c ] in
+  S.add_leq_vv st a b;
+  S.add_leq_vv st b c;
+  S.add_leq_vv st c a;
+  let s = S.stats st in
+  Alcotest.(check bool) "a cycle collapsed" true (s.S.cycles_collapsed >= 1);
+  Alcotest.(check int) "two vars absorbed" 2 s.S.vars_unified;
+  Alcotest.(check bool) "one representative" true
+    (S.var_id (S.repr a) = S.var_id (S.repr b)
+    && S.var_id (S.repr b) = S.var_id (S.repr c));
+  Alcotest.(check (list int)) "var ids stay stable" ids
+    (List.map S.var_id [ a; b; c ]);
+  S.add_leq_cv st (const_elt sp) b;
+  Alcotest.(check bool) "still satisfiable" true (Result.is_ok (S.solve st));
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "whole SCC const" true
+        (E.has_name sp "const" (S.least st v)))
+    [ a; b; c ]
+
+let test_edge_dedup () =
+  let sp = space () in
+  let st = S.create sp in
+  let a = S.fresh st and b = S.fresh st in
+  for _ = 1 to 50 do
+    S.add_leq_vv st a b
+  done;
+  let s = S.stats st in
+  Alcotest.(check int) "one edge kept" 1 s.S.edges_added;
+  Alcotest.(check int) "rest deduped" 49 s.S.edges_deduped;
+  (* a different mask is a different edge *)
+  let i = Sp.find sp "const" in
+  S.add_leq_vv ~mask:(E.singleton_mask sp i) st a b;
+  Alcotest.(check int) "masked edge is distinct" 2 (S.stats st).S.edges_added
+
+let test_masked_cycle_not_unified () =
+  let sp = space () in
+  let st = S.create sp in
+  let a = S.fresh st and b = S.fresh st in
+  let mc = E.singleton_mask sp (Sp.find sp "const") in
+  (* a two-cycle on the const coordinate only: the variables may still
+     differ on nonzero, so unification would be unsound *)
+  S.add_leq_vv ~mask:mc st a b;
+  S.add_leq_vv ~mask:mc st b a;
+  Alcotest.(check int) "masked cycles never unify" 0
+    (S.stats st).S.vars_unified;
+  Alcotest.(check bool) "distinct representatives" true
+    (S.var_id (S.repr a) <> S.var_id (S.repr b));
+  (* a full-mask edge one way + masked back edge is not a collapsible
+     cycle either *)
+  S.add_leq_vv st a b;
+  Alcotest.(check int) "still not unified" 0 (S.stats st).S.vars_unified;
+  S.add_leq_cv st (E.top sp) a;
+  ignore (S.solve st);
+  Alcotest.(check bool) "const flowed" true
+    (E.has_name sp "const" (S.least st b))
+
+let test_incremental_matches_scratch () =
+  let sp = space () in
+  let st = S.create sp in
+  let vars = Array.init 40 (fun _ -> S.fresh st) in
+  for i = 0 to 38 do
+    S.add_leq_vv st vars.(i) vars.((i * 11 + 5) mod 40)
+  done;
+  S.add_leq_cv st (const_elt sp) vars.(3);
+  ignore (S.solve st);
+  (* grow after the first solve, querying between additions so the
+     incremental path is exercised repeatedly *)
+  for i = 0 to 9 do
+    S.add_leq_vv st vars.(i) vars.(39 - i);
+    ignore (S.least st vars.(39 - i))
+  done;
+  S.add_leq_vc st vars.(7) (E.not_name sp "const");
+  ignore (S.solve st);
+  let lo = Array.map (S.least st) vars in
+  let hi = Array.map (S.greatest st) vars in
+  (* the fixpoint is unique: a from-scratch solve must agree *)
+  ignore (S.solve_from_scratch st);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) (Printf.sprintf "lo %d" i) true
+        (E.equal lo.(i) (S.least st v));
+      Alcotest.(check bool) (Printf.sprintf "hi %d" i) true
+        (E.equal hi.(i) (S.greatest st v)))
+    vars;
+  (* and the constraint-log replay oracle agrees, by original var id *)
+  let nb = S.naive_bounds st in
+  Array.iteri
+    (fun i v ->
+      let l, h = nb (S.var_id v) in
+      Alcotest.(check bool) (Printf.sprintf "oracle lo %d" i) true
+        (E.equal l lo.(i));
+      Alcotest.(check bool) (Printf.sprintf "oracle hi %d" i) true
+        (E.equal h hi.(i)))
+    vars
+
+let tests =
+  tests
+  @ [
+      Alcotest.test_case "last_errors after silent queries" `Quick
+        test_last_errors;
+      Alcotest.test_case "online cycle collapse" `Quick test_cycle_collapse;
+      Alcotest.test_case "edge dedup on insertion" `Quick test_edge_dedup;
+      Alcotest.test_case "masked cycles stay apart" `Quick
+        test_masked_cycle_not_unified;
+      Alcotest.test_case "incremental = from-scratch = oracle" `Quick
+        test_incremental_matches_scratch;
+    ]
