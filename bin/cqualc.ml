@@ -6,7 +6,10 @@
      cqualc --positions file.c per-position verdicts
      cqualc --bench NAME       run on an embedded/synthetic benchmark
 
-   Exit status 1 on type errors (incorrect const usage), 0 otherwise. *)
+   Exit status: 0 clean (including degraded-but-recovered analyses),
+   1 on type errors (incorrect const usage), 2 on usage errors, files
+   with lexer/parser diagnostics, or internal faults. Never prints a
+   backtrace. *)
 
 open Cqual
 
@@ -21,12 +24,89 @@ let pp_mode ppf = function
   | Analysis.Poly -> Fmt.string ppf "polymorphic"
   | Analysis.Polyrec -> Fmt.string ppf "polymorphic-recursive"
 
-let run_one ~rules ~positions ~stats mode name src =
-  let r = Driver.run_source ~mode ~rules src in
+(* --budget spec: "vars=N,pops=N,ms=N" (any subset) or a bare integer,
+   which bounds worklist pops. A fresh Budget.t is built per analysis run
+   (trips latch, so a budget cannot be shared between the mono and poly
+   passes). *)
+type budget_spec = {
+  bs_vars : int option;
+  bs_pops : int option;
+  bs_ms : int option;
+}
+
+let parse_budget_spec s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n > 0 -> Ok { bs_vars = None; bs_pops = Some n; bs_ms = None }
+  | Some _ -> Error "budget must be positive"
+  | None ->
+      List.fold_left
+        (fun acc part ->
+          match acc with
+          | Error _ -> acc
+          | Ok spec -> (
+              match String.index_opt part '=' with
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "bad budget item %S (want vars=N, pops=N or ms=N)"
+                       part)
+              | Some i ->
+                  let k = String.trim (String.sub part 0 i) in
+                  let v =
+                    String.sub part (i + 1) (String.length part - i - 1)
+                  in
+                  (match (k, int_of_string_opt (String.trim v)) with
+                  | "vars", Some n when n > 0 ->
+                      Ok { spec with bs_vars = Some n }
+                  | "pops", Some n when n > 0 ->
+                      Ok { spec with bs_pops = Some n }
+                  | "ms", Some n when n > 0 -> Ok { spec with bs_ms = Some n }
+                  | ("vars" | "pops" | "ms"), _ ->
+                      Error
+                        (Printf.sprintf "budget %s wants a positive integer" k)
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "unknown budget key %S (want vars, pops or ms)" k))))
+        (Ok { bs_vars = None; bs_pops = None; bs_ms = None })
+        (String.split_on_char ',' s)
+
+let budget_of_spec = function
+  | None -> None
+  | Some s ->
+      Some
+        (Typequal.Budget.create ?max_vars:s.bs_vars ?max_pops:s.bs_pops
+           ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) s.bs_ms)
+           ~clock:Unix.gettimeofday ())
+
+let run_one ~rules ~positions ~stats ~budget ~max_errors ~print_diags mode
+    name src =
+  let r =
+    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~max_errors
+      src
+  in
   let res = r.Driver.results in
+  (* diagnostics are a property of the source, not the mode: print them
+     once even when both modes run *)
+  if print_diags then
+    List.iter (fun d -> Fmt.epr "%a@." Cfront.Diag.pp d) r.Driver.diagnostics;
   Fmt.pr "=== %s (%a) ===@." name pp_mode mode;
-  Fmt.pr "lines: %d, functions: %d, qualifier variables: %d@." r.Driver.lines
-    r.Driver.n_functions r.Driver.n_constraints;
+  let degraded =
+    List.filter_map
+      (fun (f, o) ->
+        match o with
+        | Analysis.Degraded reason -> Some (f, reason)
+        | Analysis.Analyzed -> None)
+      res.Report.outcomes
+  in
+  let n_analyzed = List.length res.Report.outcomes - List.length degraded in
+  Fmt.pr
+    "lines: %d, functions: %d (%d analyzed, %d degraded), qualifier \
+     variables: %d@."
+    r.Driver.lines
+    (List.length res.Report.outcomes)
+    n_analyzed (List.length degraded) r.Driver.n_constraints;
+  List.iter (fun (f, reason) -> Fmt.pr "degraded: %s: %s@." f reason) degraded;
   if stats then
     Fmt.pr "solver: %a@." Typequal.Solver.pp_stats r.Driver.solver_stats;
   Fmt.pr
@@ -42,7 +122,7 @@ let run_one ~rules ~positions ~stats mode name src =
   if positions then
     List.iter (fun pv -> Fmt.pr "  %a@." Report.pp_position pv)
       res.Report.positions;
-  res.Report.type_errors
+  r
 
 let run_flow name src insensitive =
   match
@@ -71,7 +151,8 @@ let run_flow name src insensitive =
         1
       end
 
-let main file bench mode positions taint flow insensitive stats =
+let main file bench mode positions taint flow insensitive stats budget
+    max_errors =
   let name, src =
     match (file, bench) with
     | Some f, _ -> (f, read_file f)
@@ -102,19 +183,31 @@ let main file bench mode positions taint flow insensitive stats =
   if flow then run_flow name src insensitive
   else
     let rules = if taint then Analysis.taint_rules else Analysis.const_rules in
+    let run_one = run_one ~rules ~positions ~stats ~budget ~max_errors in
     match
-      let errs =
+      let runs =
         match mode with
-        | Some m -> run_one ~rules ~positions ~stats m name src
+        | Some m -> [ run_one ~print_diags:true m name src ]
         | None ->
-            let e1 = run_one ~rules ~positions ~stats Analysis.Mono name src in
-            let e2 = run_one ~rules ~positions ~stats Analysis.Poly name src in
-            e1 + e2
+            let r1 = run_one ~print_diags:true Analysis.Mono name src in
+            let r2 = run_one ~print_diags:false Analysis.Poly name src in
+            [ r1; r2 ]
       in
-      errs
+      let type_errors =
+        List.fold_left
+          (fun n r -> n + r.Driver.results.Report.type_errors)
+          0 runs
+      in
+      let bad_source =
+        List.exists
+          (fun r -> List.exists Cfront.Diag.is_error r.Driver.diagnostics)
+          runs
+      in
+      (type_errors, bad_source)
     with
-    | 0 -> 0
-    | _ -> 1
+    | _, true -> 2 (* the source did not fully parse *)
+    | 0, false -> 0
+    | _, false -> 1
     | exception Driver.Error m ->
         Fmt.epr "error: %s@." m;
         2
@@ -172,12 +265,66 @@ let stats =
         ~doc:"Print constraint-solver statistics (unifications, edge dedup, \
               cycle collapses, worklist pops)")
 
+let budget =
+  let budget_conv =
+    Arg.conv
+      ( (fun s ->
+          match parse_budget_spec s with
+          | Ok x -> Ok x
+          | Error m -> Error (`Msg m)),
+        fun ppf s ->
+          let item k = function
+            | Some n -> [ Printf.sprintf "%s=%d" k n ]
+            | None -> []
+          in
+          Fmt.string ppf
+            (String.concat ","
+               (item "vars" s.bs_vars @ item "pops" s.bs_pops
+              @ item "ms" s.bs_ms)) )
+  in
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "budget" ] ~docv:"SPEC"
+        ~doc:
+          "Bound the analysis: $(b,vars=N) caps qualifier variables, \
+           $(b,pops=N) caps solver worklist steps, $(b,ms=N) is a \
+           wall-clock deadline; combine with commas. A bare integer means \
+           $(b,pops=N). When the budget trips, the run still exits 0 but \
+           every function is reported degraded and every position \
+           could-be-either.")
+
+let max_errors =
+  Arg.(
+    value & opt int 20
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:"Stop collecting lexer/parser diagnostics after $(docv)")
+
 let cmd =
   let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
   Cmd.v
     (Cmd.info "cqualc" ~doc)
     Term.(
       const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
-      $ stats)
+      $ stats $ budget $ max_errors)
 
-let () = exit (Cmd.eval' cmd)
+(* Last line of defense: whatever leaks out of the pipeline becomes a
+   one-line message and exit 2 — users should never see a backtrace.
+   Cmdliner's own CLI-error codes (124/125) are folded into 2 so the
+   documented contract is just 0 / 1 / 2. *)
+let () =
+  exit
+    (try
+       match Cmd.eval' ~catch:false cmd with
+       | (124 | 125) -> 2
+       | code -> code
+     with
+    | Driver.Error m | Cfront.Cprog.Frontend_error m ->
+        Fmt.epr "error: %s@." m;
+        2
+    | Failure m ->
+        Fmt.epr "error: %s@." m;
+        2
+    | Sys_error m ->
+        Fmt.epr "error: %s@." m;
+        2)

@@ -1,0 +1,8 @@
+/* Stray characters the lexer has no token for: each one is a recoverable
+   diagnostic, and the functions around them analyze normally. */
+
+int f(int *p) { return *p; }
+@
+int g(const int *q) { return *q; }
+`
+int h(int *r) { return *r; }

@@ -1,0 +1,9 @@
+/* The second declarator kills the whole typedef declaration during
+   recovery, so `use` refers to a typedef the program tables never saw:
+   it is demoted to a degraded outcome instead of crashing the run. */
+
+typedef int T, 5;
+
+int use(T *p) { return *p; }
+
+int ok(int *q) { return *q; }

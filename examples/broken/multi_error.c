@@ -1,0 +1,16 @@
+/* Several independent faults: cqualc must report one diagnostic per
+   fault, keep analyzing the intact functions, and exit 2. */
+
+int good1(int *p) { return *p; }
+
+int = 3;
+
+int good2(const int *q) { return *q; }
+
+int broken_body(int *r) { return * ; }
+
+int 5bad;
+
+struct pair { int x; int y; };
+
+int good3(struct pair *pp) { return pp->x; }

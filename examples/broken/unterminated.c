@@ -1,0 +1,7 @@
+/* An unterminated comment swallows the rest of the file; everything
+   before it still parses and analyzes. */
+
+int before(const int *p) { return *p; }
+
+/* this comment never ends...
+int after(int *q) { return *q; }

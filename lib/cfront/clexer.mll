@@ -3,14 +3,39 @@
    paper's Section 2.5 qualifier extension: identifiers prefixed with `$'
    lex as QUALNAME so user qualifiers never collide with C identifiers.
    Preprocessor lines (`#...') are skipped — benchmark inputs are assumed
-   to be post-expansion, as with the paper's use of a real C front end. *)
+   to be post-expansion, as with the paper's use of a real C front end.
+
+   Positions are tracked through the standard Lexing machinery so every
+   token carries a line/column span; lexical errors are structured
+   diagnostics (Diag.t). `tokenize' raises on the first error; the
+   recovering `tokenize_partial' skips bad characters (E0101) and turns
+   unterminated strings/comments (E0102/E0103) into an early EOF, in both
+   cases accumulating diagnostics instead of failing. *)
 
 {
 open Ctoken
 
-exception Lex_error of string * int  (* message, line *)
+exception Lex_error of Diag.t
 
-let line = ref 1
+let col_of (p : Lexing.position) = p.pos_cnum - p.pos_bol + 1
+
+let mkspan (s : Lexing.position) (e : Lexing.position) : Diag.span =
+  let sc = col_of s in
+  { Diag.sl = s.pos_lnum; sc; el = e.pos_lnum; ec = max (col_of e - 1) sc }
+
+let span_here lexbuf =
+  mkspan (Lexing.lexeme_start_p lexbuf) (Lexing.lexeme_end_p lexbuf)
+
+(* Multi-lexeme tokens (strings, block comments) record where they began
+   so their spans and error positions cover the whole construct. *)
+let construct_start = ref Lexing.dummy_pos
+
+let lex_error ~code lexbuf msg =
+  raise (Lex_error (Diag.error ~code (span_here lexbuf) msg))
+
+let unterminated ~code lexbuf what =
+  let sp = mkspan !construct_start (Lexing.lexeme_end_p lexbuf) in
+  raise (Lex_error (Diag.error ~code sp ("unterminated " ^ what)))
 
 let keywords = Hashtbl.create 64
 let () =
@@ -43,8 +68,9 @@ let ws = [' ' '\t' '\r']
 
 rule token = parse
   | ws+                    { token lexbuf }
-  | '\n'                   { incr line; token lexbuf }
-  | "/*"                   { block_comment lexbuf; token lexbuf }
+  | '\n'                   { Lexing.new_line lexbuf; token lexbuf }
+  | "/*"                   { construct_start := Lexing.lexeme_start_p lexbuf;
+                             block_comment lexbuf; token lexbuf }
   | "//" [^ '\n']*         { token lexbuf }
   | '#' [^ '\n']*          { token lexbuf }  (* preprocessor line: skipped *)
   | "0x" hex+ as s         { INT_LIT (int_of_string s) }
@@ -65,7 +91,8 @@ rule token = parse
                              | None -> IDENT s }
   | '\'' '\\' (_ as c) '\'' { CHAR_LIT (unescape c) }
   | '\'' ([^ '\\' '\''] as c) '\'' { CHAR_LIT c }
-  | '"'                    { STRING_LIT (string_lit (Buffer.create 16) lexbuf) }
+  | '"'                    { construct_start := Lexing.lexeme_start_p lexbuf;
+                             STRING_LIT (string_lit (Buffer.create 16) lexbuf) }
   | "..."                  { ELLIPSIS }
   | "->"                   { ARROW }
   | "++"                   { PLUSPLUS }
@@ -113,31 +140,73 @@ rule token = parse
   | '>'                    { GT }
   | '='                    { ASSIGN }
   | eof                    { EOF }
-  | _ as c                 { raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line)) }
+  | _ as c                 { lex_error ~code:"E0101" lexbuf
+                               (Printf.sprintf "unexpected character %C" c) }
 
 and block_comment = parse
   | "*/"                   { () }
-  | '\n'                   { incr line; block_comment lexbuf }
-  | eof                    { raise (Lex_error ("unterminated comment", !line)) }
+  | '\n'                   { Lexing.new_line lexbuf; block_comment lexbuf }
+  | eof                    { unterminated ~code:"E0103" lexbuf "comment" }
   | _                      { block_comment lexbuf }
 
 and string_lit buf = parse
   | '"'                    { Buffer.contents buf }
   | '\\' (_ as c)          { Buffer.add_char buf (unescape c); string_lit buf lexbuf }
-  | '\n'                   { incr line; Buffer.add_char buf '\n'; string_lit buf lexbuf }
-  | eof                    { raise (Lex_error ("unterminated string", !line)) }
+  | '\n'                   { Lexing.new_line lexbuf; Buffer.add_char buf '\n';
+                             string_lit buf lexbuf }
+  | eof                    { unterminated ~code:"E0102" lexbuf "string" }
   | _ as c                 { Buffer.add_char buf c; string_lit buf lexbuf }
 
 {
-(** Tokenize a whole source string, pairing each token with its line. *)
-let tokenize (src : string) : (Ctoken.t * int) list =
-  line := 1;
+let init_lexbuf src =
   let lexbuf = Lexing.from_string src in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = ""; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  lexbuf
+
+(* The span of the token just returned. Strings and comments run across
+   several lexemes; [construct_start] pins their true start. *)
+let token_span lexbuf = function
+  | STRING_LIT _ -> mkspan !construct_start (Lexing.lexeme_end_p lexbuf)
+  | _ -> span_here lexbuf
+
+(** Tokenize a whole source string, pairing each token with its span.
+    Raises {!Lex_error} on the first lexical error. *)
+let tokenize (src : string) : (Ctoken.t * Diag.span) list =
+  let lexbuf = init_lexbuf src in
   let rec go acc =
-    let ln = !line in
-    match token lexbuf with
-    | EOF -> List.rev ((EOF, ln) :: acc)
-    | t -> go ((t, ln) :: acc)
+    let t = token lexbuf in
+    let sp = token_span lexbuf t in
+    match t with
+    | EOF -> List.rev ((EOF, sp) :: acc)
+    | t -> go ((t, sp) :: acc)
   in
   go []
+
+(** Recovering tokenizer: lexical errors become diagnostics. A bad
+    character is skipped (the lexer already consumed it); an unterminated
+    string or comment necessarily ends the input, so lexing stops there.
+    At most [max_errors] diagnostics are produced. *)
+let tokenize_partial ?(max_errors = 20) (src : string) :
+    (Ctoken.t * Diag.span) list * Diag.t list =
+  let lexbuf = init_lexbuf src in
+  let diags = ref [] in
+  let eof_entry () =
+    let p = Lexing.lexeme_end_p lexbuf in
+    (EOF, mkspan p p)
+  in
+  let rec go acc =
+    match token lexbuf with
+    | EOF -> List.rev ((EOF, span_here lexbuf) :: acc)
+    | t -> go ((t, token_span lexbuf t) :: acc)
+    | exception Lex_error d ->
+        diags := d :: !diags;
+        if List.length !diags >= max_errors then
+          List.rev (eof_entry () :: acc)
+        else if d.Diag.d_code = "E0101" then go acc
+        else (* unterminated construct: input is exhausted *)
+          List.rev (eof_entry () :: acc)
+  in
+  let toks = go [] in
+  (toks, List.rev !diags)
 }

@@ -10,51 +10,67 @@
 
 open Cast
 
-exception Parse_error of string * int  (* message, line *)
+exception Parse_error of string * Diag.span
 
 type st = {
-  toks : (Ctoken.t * int) array;
+  toks : (Ctoken.t * Diag.span) array;
   mutable pos : int;
   typedefs : (string, unit) Hashtbl.t;
   enum_consts : (string, int) Hashtbl.t;
   mutable anon : int;
+  recover : bool;
+      (* panic-mode recovery: function bodies that fail to parse demote to
+         prototypes instead of aborting the file *)
+  mutable diags : Diag.t list;  (* reverse order *)
+  mutable degraded : (string * string) list;  (* (function, reason) *)
 }
 
-let make_state toks =
+let make_state ?(recover = false) toks =
   {
     toks = Array.of_list toks;
     pos = 0;
     typedefs = Hashtbl.create 16;
     enum_consts = Hashtbl.create 16;
     anon = 0;
+    recover;
+    diags = [];
+    degraded = [];
   }
 
 let peek st = fst st.toks.(st.pos)
 let peek2 st =
   if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
   else Ctoken.EOF
-let line st = snd st.toks.(st.pos)
+let span st = snd st.toks.(st.pos)
+let line st = (span st).Diag.sl
 
 let next st =
   let t = st.toks.(st.pos) in
   if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1;
   fst t
 
-let err st msg = raise (Parse_error (msg, line st))
+let err st msg = raise (Parse_error (msg, span st))
 
 let expect st t =
+  let sp = span st in
   let got = next st in
   if got <> t then
     raise
       (Parse_error
          ( Printf.sprintf "expected `%s', got `%s'" (Ctoken.to_string t)
              (Ctoken.to_string got),
-           line st ))
+           sp ))
 
 let ident st =
+  let sp = span st in
   match next st with
   | Ctoken.IDENT x -> x
-  | t -> err st (Printf.sprintf "expected identifier, got `%s'" (Ctoken.to_string t))
+  | t ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected identifier, got `%s'"
+               (Ctoken.to_string t),
+             sp ))
 
 let fresh_anon st prefix =
   st.anon <- st.anon + 1;
@@ -636,6 +652,7 @@ and parse_postfix st hoist : expr =
   !e
 
 and parse_primary st hoist : expr =
+  let sp = span st in
   match next st with
   | Ctoken.INT_LIT n -> EInt n
   | FLOAT_LIT f -> EFloat f
@@ -662,7 +679,10 @@ and parse_primary st hoist : expr =
       let e = parse_expr st hoist in
       expect st RPAREN;
       e
-  | t -> err st (Printf.sprintf "unexpected token `%s'" (Ctoken.to_string t))
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "unexpected token `%s'" (Ctoken.to_string t), sp))
 
 and parse_init st hoist : expr =
   match peek st with
@@ -862,6 +882,21 @@ and parse_local_decl st hoist : decl list =
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Skip a balanced {...} starting at the current LBRACE (used to step over
+   a function body that failed to parse). Stops at EOF. *)
+let skip_balanced_braces st =
+  if peek st = Ctoken.LBRACE then begin
+    ignore (next st);
+    let depth = ref 1 in
+    while !depth > 0 && peek st <> Ctoken.EOF do
+      (match peek st with
+      | Ctoken.LBRACE -> incr depth
+      | Ctoken.RBRACE -> decr depth
+      | _ -> ());
+      ignore (next st)
+    done
+  end
+
 let parse_global st (hoist : global list ref) : global list =
   let ln = line st in
   let specs = parse_decl_specs st hoist in
@@ -877,20 +912,37 @@ let parse_global st (hoist : global list ref) : global list =
     | Some fname, Ctoken.LBRACE -> (
         (* function definition *)
         match t with
-        | TFun (ret, params, varargs) ->
-            let body = parse_block st hoist in
-            [
-              GFun
-                {
-                  f_name = fname;
-                  f_ret = ret;
-                  f_params = params;
-                  f_varargs = varargs;
-                  f_body = body;
-                  f_static = specs.s_static;
-                  f_line = ln;
-                };
-            ]
+        | TFun (ret, params, varargs) -> (
+            let mk body =
+              [
+                GFun
+                  {
+                    f_name = fname;
+                    f_ret = ret;
+                    f_params = params;
+                    f_varargs = varargs;
+                    f_body = body;
+                    f_static = specs.s_static;
+                    f_line = ln;
+                  };
+              ]
+            in
+            if not st.recover then mk (parse_block st hoist)
+            else
+              (* fault isolation: a body that fails to parse demotes the
+                 function to a prototype (analyzed like a library function,
+                 which is conservative) rather than poisoning the file *)
+              let brace = st.pos in
+              match parse_block st hoist with
+              | body -> mk body
+              | exception Parse_error (m, sp) ->
+                  st.diags <- Diag.error ~code:"E0202" sp m :: st.diags;
+                  st.degraded <-
+                    (fname, Printf.sprintf "body failed to parse: %s" m)
+                    :: st.degraded;
+                  st.pos <- brace;
+                  skip_balanced_braces st;
+                  [ GProto (fname, t, ln) ])
         | _ -> err st "function body after non-function declarator")
     | Some n, _ ->
         let rec go acc name t =
@@ -930,7 +982,9 @@ let parse_global st (hoist : global list ref) : global list =
     | None, _ -> err st "declaration without a name"
   end
 
-(** Parse a complete translation unit. *)
+(** Parse a complete translation unit. Raises {!Parse_error} or
+    {!Clexer.Lex_error} on the first error (the strict entry point; the
+    resilient pipeline uses {!parse_program_partial}). *)
 let parse_program (src : string) : program =
   let toks = Clexer.tokenize src in
   let st = make_state toks in
@@ -946,5 +1000,85 @@ let parse_program (src : string) : program =
 let parse_program_result src =
   match parse_program src with
   | p -> Ok p
-  | exception Parse_error (m, l) -> Error (Printf.sprintf "line %d: %s" l m)
-  | exception Clexer.Lex_error (m, l) -> Error (Printf.sprintf "line %d: %s" l m)
+  | exception Parse_error (m, sp) ->
+      Error (Fmt.str "%a: %s" Diag.pp_span sp m)
+  | exception Clexer.Lex_error d -> Error (Diag.to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Panic-mode recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Synchronize after a parse error: skip to the next plausible top-level
+   declaration boundary. We consume until a `;' or `}' at brace depth 0
+   (an unmatched `}' closes whatever construct the error interrupted) or
+   until a token that starts a declaration. Stopping at a type-start token
+   without consuming anything is safe: the parser only reaches an error
+   with a type-start lookahead after consuming at least one token, so the
+   outer loop always makes progress. *)
+let sync st =
+  let depth = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match peek st with
+    | Ctoken.EOF -> stop := true
+    | Ctoken.LBRACE ->
+        incr depth;
+        ignore (next st)
+    | Ctoken.RBRACE ->
+        if !depth > 0 then begin
+          decr depth;
+          ignore (next st)
+        end
+        else begin
+          ignore (next st);
+          if peek st = Ctoken.SEMI then ignore (next st);
+          stop := true
+        end
+    | Ctoken.SEMI when !depth = 0 ->
+        ignore (next st);
+        if starts_type st || peek st = Ctoken.EOF then stop := true
+    | _ when !depth = 0 && starts_type st -> stop := true
+    | _ -> ignore (next st)
+  done
+
+type presult = {
+  pr_prog : program;  (** every global that parsed *)
+  pr_diags : Diag.t list;  (** in source order, lexical errors first *)
+  pr_degraded : (string * string) list;
+      (** functions demoted to prototypes because their body failed to
+          parse, with the reason *)
+}
+
+(** Parse with panic-mode error recovery: always returns a (possibly
+    partial) program plus the diagnostics encountered, up to
+    [max_errors] (default 20; an [E0299] note marks the cutoff). *)
+let parse_program_partial ?(max_errors = 20) (src : string) : presult =
+  let toks, lex_diags = Clexer.tokenize_partial ~max_errors src in
+  let st = make_state ~recover:true toks in
+  st.diags <- List.rev lex_diags;
+  let globals = ref [] in
+  let capped = ref false in
+  while peek st <> EOF && not !capped do
+    let hoist = ref [] in
+    (match parse_global st hoist with
+    | gs -> globals := List.rev_append gs (List.rev_append !hoist !globals)
+    | exception Parse_error (m, sp) ->
+        st.diags <- Diag.error ~code:"E0201" sp m :: st.diags;
+        (* keep whatever was hoisted before the failure *)
+        globals := List.rev_append !hoist !globals;
+        sync st);
+    if List.length st.diags >= max_errors && peek st <> EOF then begin
+      capped := true;
+      st.diags <-
+        Diag.note ~code:"E0299" (span st)
+          (Printf.sprintf
+             "too many errors (%d); giving up on the rest of the file"
+             max_errors)
+        :: st.diags
+    end
+  done;
+  {
+    pr_prog = List.rev !globals;
+    pr_diags = List.rev st.diags;
+    pr_degraded = List.rev st.degraded;
+  }

@@ -1,0 +1,58 @@
+(** Structured diagnostics for the C front end.
+
+    Every lexer/parser/frontend failure is represented as a diagnostic
+    carrying a severity, a stable code (grep-able and documented in
+    DESIGN.md "Resilience"), a source span, and a message. The resilient
+    pipeline ({!Cparse.parse_program_partial}, {!Cqual.Driver.run_source})
+    accumulates diagnostics instead of aborting on the first error.
+
+    Code ranges:
+    - [E01xx] lexical errors (unexpected character, unterminated
+      string/comment);
+    - [E02xx] parse errors ([E0299] is the "too many errors" note);
+    - [E03xx] frontend/semantic errors (unknown typedef);
+    - [W04xx] degraded-analysis warnings (budget exhaustion). *)
+
+type severity = Error | Warning | Note
+
+(** A half-open region of source text. Lines and columns are 1-based;
+    [ec] is the column of the last character (inclusive). A span whose
+    columns are 0 carries line precision only. *)
+type span = { sl : int; sc : int; el : int; ec : int }
+
+type t = {
+  d_severity : severity;
+  d_code : string;
+  d_span : span;
+  d_message : string;
+}
+
+let span_of_line l = { sl = l; sc = 0; el = l; ec = 0 }
+let dummy_span = span_of_line 0
+
+let make severity ~code span message =
+  { d_severity = severity; d_code = code; d_span = span; d_message = message }
+
+let error = make Error
+let warning = make Warning
+let note = make Note
+let is_error d = d.d_severity = Error
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp_span ppf { sl; sc; el; ec } =
+  if sc = 0 then Fmt.pf ppf "line %d" sl
+  else if sl = el then
+    if sc = ec then Fmt.pf ppf "%d:%d" sl sc
+    else Fmt.pf ppf "%d:%d-%d" sl sc ec
+  else Fmt.pf ppf "%d:%d-%d:%d" sl sc el ec
+
+(** Uniform rendering: [error[E0201] 3:5-8: message]. *)
+let pp ppf d =
+  Fmt.pf ppf "%a[%s] %a: %s" pp_severity d.d_severity d.d_code pp_span
+    d.d_span d.d_message
+
+let to_string d = Fmt.str "%a" pp d

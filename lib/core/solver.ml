@@ -121,6 +121,10 @@ type t = {
   dirty : (int, var) Hashtbl.t;
   edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, mask) *)
   cycle_elim : bool;
+  mutable budget : Budget.t option;
+      (* optional resource guard: propagation stops early once it trips,
+         leaving partial (lo, hi) — callers must check Budget.exhausted
+         and treat classifications as degraded *)
   mutable s_unified : int;
   mutable s_edges : int;
   mutable s_dedup : int;
@@ -143,6 +147,7 @@ let create ?(cycle_elim = true) space =
     dirty = Hashtbl.create 64;
     edge_seen = Hashtbl.create 256;
     cycle_elim;
+    budget = None;
     s_unified = 0;
     s_edges = 0;
     s_dedup = 0;
@@ -154,6 +159,10 @@ let create ?(cycle_elim = true) space =
 
 let space t = t.space
 let num_vars t = t.nvars
+let set_budget t b = t.budget <- b
+
+let budget_tripped t =
+  match t.budget with Some b -> Budget.is_exhausted b | None -> false
 
 let stats t =
   {
@@ -194,6 +203,7 @@ let fresh ?(name = "q") t =
   in
   t.nvars <- t.nvars + 1;
   t.vars <- v :: t.vars;
+  Option.iter (fun b -> Budget.note_vars b t.nvars) t.budget;
   (* a fresh variable has no constraints: its current (lo, hi) is already
      its solution, so [solved] and the dirty set are untouched *)
   v
@@ -403,12 +413,16 @@ let propagate t ~seed ~touched =
       Queue.push v queue
     end
   in
+  (* A tripped budget drains the worklists without propagating: (lo, hi)
+     are left partial, which is why budgeted runs are reported degraded
+     and classified conservatively by the caller. *)
   (* least pass *)
   seed push;
-  while not (Queue.is_empty queue) do
+  while (not (Queue.is_empty queue)) && not (budget_tripped t) do
     let v = Queue.pop queue in
     Hashtbl.remove inq v.id;
     t.s_pops <- t.s_pops + 1;
+    Option.iter Budget.note_pop t.budget;
     touched := v :: !touched;
     List.iter
       (fun (s, mask, _) ->
@@ -423,12 +437,15 @@ let propagate t ~seed ~touched =
         end)
       v.succs
   done;
+  Queue.clear queue;
+  Hashtbl.reset inq;
   (* greatest pass: dual, meets along reversed edges *)
   seed push;
-  while not (Queue.is_empty queue) do
+  while (not (Queue.is_empty queue)) && not (budget_tripped t) do
     let v = Queue.pop queue in
     Hashtbl.remove inq v.id;
     t.s_pops <- t.s_pops + 1;
+    Option.iter Budget.note_pop t.budget;
     touched := v :: !touched;
     List.iter
       (fun (p, mask, _) ->

@@ -49,6 +49,14 @@ val space : t -> Space.t
 val num_vars : t -> int
 (** number of variables created so far (also a size proxy) *)
 
+val set_budget : t -> Budget.t option -> unit
+(** Attach (or detach) a resource budget. Variable creation counts toward
+    [max_vars]; every worklist pop counts toward [max_pops] and polls the
+    deadline. Once the budget trips, propagation stops early and the
+    least/greatest solutions may be {e partial} — callers must check
+    {!Budget.exhausted} and report results from a tripped store as
+    degraded rather than trusting classifications. *)
+
 val fresh : ?name:string -> t -> var
 
 val var_id : var -> int

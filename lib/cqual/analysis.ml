@@ -20,6 +20,7 @@
       (Section 4.3). *)
 
 module Solver = Typequal.Solver
+module Budget = Typequal.Budget
 module Elt = Typequal.Lattice.Elt
 module Space = Typequal.Lattice.Space
 module Q = Typequal.Qualifier
@@ -122,6 +123,11 @@ type fentry =
   | FMono of fsig  (** constraints link directly to these cells *)
   | FPoly of Solver.scheme * fsig  (** instantiated per occurrence *)
 
+(** Per-function analysis outcome. A degraded function contributed no (or
+    only partial) constraints; its callers see it as a library function,
+    which is conservative, and {!Report} excludes its positions. *)
+type outcome = Analyzed | Degraded of string
+
 type env = {
   store : Solver.t;
   prog : Cprog.t;
@@ -137,9 +143,50 @@ type env = {
   field_sharing : bool;
       (** Section 4.2 field sharing; [false] only for the ablation study:
           every struct access then gets fresh field cells *)
+  outcomes : (string, outcome) Hashtbl.t;  (** per defined function *)
+  budget : Budget.t option;
+      (** resource guard; exhaustion degrades remaining functions *)
 }
 
 let warn env msg = env.warnings <- msg :: env.warnings
+
+(* ------------------------------------------------------------------ *)
+(* Fault isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let degrade env name reason =
+  Hashtbl.replace env.outcomes name (Degraded reason)
+
+let mark_analyzed env name =
+  if not (Hashtbl.mem env.outcomes name) then
+    Hashtbl.replace env.outcomes name Analyzed
+
+let budget_reason env =
+  match env.budget with Some b -> Budget.exhausted b | None -> None
+
+let reason_of_exn = function
+  | Cprog.Frontend_error m -> m
+  | Failure m -> "analysis failure: " ^ m
+  | Stack_overflow -> "analysis failure: stack overflow"
+  | e -> "analysis failure: " ^ Printexc.to_string e
+
+(* Run [k] under fault isolation for function [name]: exceptions and
+   budget exhaustion degrade the function instead of aborting the run.
+   Out-of-memory and interrupts are never swallowed. *)
+let guarded env name (k : unit -> 'a) : 'a option =
+  match budget_reason env with
+  | Some r ->
+      degrade env name ("budget exhausted: " ^ r);
+      None
+  | None -> (
+      match k () with
+      | x ->
+          mark_analyzed env name;
+          Some x
+      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception e ->
+          degrade env name (reason_of_exn e);
+          None)
 
 (* declaration-qualifier seeding, per the active rule set *)
 let seed env = env.rules.qr_seed env.store
@@ -547,9 +594,10 @@ let analyze_body env (f : Cast.fundef) (iface : fsig) =
 (* Whole-program drivers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_env ?(rules = const_rules) ?(field_sharing = true) mode
+let make_env ?(rules = const_rules) ?(field_sharing = true) ?budget mode
     (prog : Cprog.t) : env =
   let store = Solver.create rules.qr_space in
+  Solver.set_budget store budget;
   {
     store;
     prog;
@@ -561,6 +609,8 @@ let make_env ?(rules = const_rules) ?(field_sharing = true) mode
     warnings = [];
     late_mono = Hashtbl.create 16;
     field_sharing;
+    outcomes = Hashtbl.create 16;
+    budget;
   }
 
 (* Global variables and struct tables are part of the monomorphic
@@ -569,11 +619,26 @@ let make_env ?(rules = const_rules) ?(field_sharing = true) mode
 let build_global_env env =
   List.iter
     (fun (d : Cast.decl) ->
-      let ty = Cprog.expand env.prog d.d_type in
-      Hashtbl.replace env.globals d.d_name
-        (cell_of_ctype ~name:d.d_name ~seed:(seed env) env.store ty))
+      try
+        let ty = Cprog.expand env.prog d.d_type in
+        Hashtbl.replace env.globals d.d_name
+          (cell_of_ctype ~name:d.d_name ~seed:(seed env) env.store ty)
+      with Cprog.Frontend_error m ->
+        (* e.g. the typedef's definition was lost to a parse error: the
+           global keeps a fresh unconstrained cell so uses still alias *)
+        warn env
+          (Printf.sprintf "global %s: %s; treated as unconstrained" d.d_name m);
+        Hashtbl.replace env.globals d.d_name
+          (fresh_cell ~name:d.d_name env.store RBase))
     (Cprog.global_vars env.prog);
-  Hashtbl.iter (fun tag _ -> ignore (field_cells env tag)) env.prog.Cprog.comps
+  Hashtbl.iter
+    (fun tag _ ->
+      try ignore (field_cells env tag)
+      with Cprog.Frontend_error m ->
+        warn env
+          (Printf.sprintf "struct %s: %s; fields treated as unconstrained" tag
+             m))
+    env.prog.Cprog.comps
 
 let analyze_global_inits env =
   let scope = { locals = []; ret = RBase } in
@@ -582,32 +647,41 @@ let analyze_global_inits env =
       match d.d_init with
       | Some e -> (
           match Hashtbl.find_opt env.globals d.d_name with
-          | Some c -> init_into env scope c e
+          | Some c -> (
+              try init_into env scope c e
+              with Cprog.Frontend_error m ->
+                warn env
+                  (Printf.sprintf "initializer of %s: %s; ignored" d.d_name m))
           | None -> ())
       | None -> ())
     (Cprog.global_vars env.prog)
 
 (** Monomorphic const inference (the "Mono" column of Table 2). *)
-let run_mono ?rules ?field_sharing (prog : Cprog.t) :
+let run_mono ?rules ?field_sharing ?budget (prog : Cprog.t) :
     env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing Mono prog in
+  let env = make_env ?rules ?field_sharing ?budget Mono prog in
   build_global_env env;
   let funs = Cprog.functions prog in
-  (* pass 1: interfaces, so calls in any order link directly *)
+  (* pass 1: interfaces, so calls in any order link directly; a function
+     whose interface cannot be built is degraded and left out of env.funs,
+     so its callers fall back to the conservative library treatment *)
   let ifaces =
-    List.map
-      (fun f ->
-        let s = iface_of_fundef env f in
-        Hashtbl.replace env.funs f.Cast.f_name (FMono s);
-        (f.Cast.f_name, s))
+    List.filter_map
+      (fun (f : Cast.fundef) ->
+        match guarded env f.f_name (fun () -> iface_of_fundef env f) with
+        | Some s ->
+            Hashtbl.replace env.funs f.f_name (FMono s);
+            Some (f.f_name, s)
+        | None -> None)
       funs
   in
   (* pass 2: bodies *)
   List.iter
     (fun (f : Cast.fundef) ->
-      match Hashtbl.find env.funs f.f_name with
-      | FMono s -> analyze_body env f s
-      | FPoly _ -> assert false)
+      match Hashtbl.find_opt env.funs f.f_name with
+      | Some (FMono s) ->
+          ignore (guarded env f.f_name (fun () -> analyze_body env f s))
+      | _ -> ())
     funs;
   analyze_global_inits env;
   (env, ifaces)
@@ -667,47 +741,65 @@ let summarize_iface bounds (s : fsig) : (Elt.t * Elt.t) list =
 (** Polymorphic const inference (Section 4.3, the "Poly" column): SCCs of
     the FDG processed callees-first; each SCC's constraints are captured
     and generalized into one scheme shared by its members. *)
-let run_poly ?rules ?field_sharing ?(simplify = false) (prog : Cprog.t) :
-    env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing Poly prog in
+let run_poly ?rules ?field_sharing ?(simplify = false) ?budget
+    (prog : Cprog.t) : env * (string * fsig) list =
+  let env = make_env ?rules ?field_sharing ?budget Poly prog in
   build_global_env env;
   (* variables created so far (globals, struct fields) are monomorphic *)
   let global_watermark = Solver.num_vars env.store in
   let fdg = Fdg.build prog in
   let ifaces = ref [] in
+  (* fault isolation is per SCC: members are generalized together, so a
+     failure in any of them invalidates the whole component's scheme *)
+  let degrade_scc members reason =
+    List.iter
+      (fun (f : Cast.fundef) ->
+        degrade env f.f_name reason;
+        Hashtbl.remove env.funs f.f_name)
+      members
+  in
   List.iter
     (fun scc ->
       let members =
         List.filter_map (fun name -> Cprog.find_fun prog name) scc
       in
-      let scc_ifaces, atoms =
-        Solver.recording env.store (fun () ->
-            (* interfaces first: mutual recursion links directly *)
-            let is =
-              List.map
-                (fun (f : Cast.fundef) ->
-                  let s = iface_of_fundef env f in
-                  Hashtbl.replace env.funs f.f_name (FMono s);
-                  (f, s))
-                members
-            in
-            List.iter (fun (f, s) -> analyze_body env f s) is;
-            is)
-      in
-      let sch = generalize_scc env ~global_watermark atoms scc_ifaces in
-      let sch =
-        if simplify then
-          Solver.simplify_scheme env.store
-            ~interface:
-              (List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces)
-            sch
-        else sch
-      in
-      List.iter
-        (fun ((f : Cast.fundef), s) ->
-          Hashtbl.replace env.funs f.f_name (FPoly (sch, s));
-          ifaces := (f.f_name, s) :: !ifaces)
-        scc_ifaces)
+      match budget_reason env with
+      | Some r -> degrade_scc members ("budget exhausted: " ^ r)
+      | None -> (
+          match
+            Solver.recording env.store (fun () ->
+                (* interfaces first: mutual recursion links directly *)
+                let is =
+                  List.map
+                    (fun (f : Cast.fundef) ->
+                      let s = iface_of_fundef env f in
+                      Hashtbl.replace env.funs f.f_name (FMono s);
+                      (f, s))
+                    members
+                in
+                List.iter (fun (f, s) -> analyze_body env f s) is;
+                is)
+          with
+          | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+          | exception e -> degrade_scc members (reason_of_exn e)
+          | scc_ifaces, atoms ->
+              let sch = generalize_scc env ~global_watermark atoms scc_ifaces in
+              let sch =
+                if simplify then
+                  Solver.simplify_scheme env.store
+                    ~interface:
+                      (List.concat_map
+                         (fun (_, s) -> rt_qvars (RFun s))
+                         scc_ifaces)
+                    sch
+                else sch
+              in
+              List.iter
+                (fun ((f : Cast.fundef), s) ->
+                  Hashtbl.replace env.funs f.f_name (FPoly (sch, s));
+                  mark_analyzed env f.f_name;
+                  ifaces := (f.f_name, s) :: !ifaces)
+                scc_ifaces))
     fdg.Fdg.sccs;
   analyze_global_inits env;
   (env, List.rev !ifaces)
@@ -719,9 +811,9 @@ let run_poly ?rules ?field_sharing ?(simplify = false) (prog : Cprog.t) :
     reach a fixed point. Termination: the summaries form a finite domain
     and the iteration is capped (the cap is never reached in practice;
     the fixed point typically arrives by the second round). *)
-let run_polyrec ?rules ?field_sharing (prog : Cprog.t) :
+let run_polyrec ?rules ?field_sharing ?budget (prog : Cprog.t) :
     env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing Polyrec prog in
+  let env = make_env ?rules ?field_sharing ?budget Polyrec prog in
   build_global_env env;
   let global_watermark = Solver.num_vars env.store in
   let fdg = Fdg.build prog in
@@ -741,6 +833,13 @@ let run_polyrec ?rules ?field_sharing (prog : Cprog.t) :
     (fun scc ->
       let members =
         List.filter_map (fun name -> Cprog.find_fun prog name) scc
+      in
+      let degrade_scc reason =
+        List.iter
+          (fun (f : Cast.fundef) ->
+            degrade env f.f_name reason;
+            Hashtbl.remove env.funs f.f_name)
+          members
       in
       let process_round () =
         Solver.recording env.store (fun () ->
@@ -766,7 +865,7 @@ let run_polyrec ?rules ?field_sharing (prog : Cprog.t) :
           scc_ifaces;
         sch
       in
-      let final =
+      let compute () =
         if not (is_recursive scc) then begin
           (* non-recursive: identical to plain per-SCC polymorphism, but
              members must be callable monomorphically while their own
@@ -816,18 +915,27 @@ let run_polyrec ?rules ?field_sharing (prog : Cprog.t) :
           iterate [] 1
         end
       in
-      List.iter
-        (fun ((f : Cast.fundef), s) -> ifaces := (f.f_name, s) :: !ifaces)
-        final)
+      match budget_reason env with
+      | Some r -> degrade_scc ("budget exhausted: " ^ r)
+      | None -> (
+          match compute () with
+          | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+          | exception e -> degrade_scc (reason_of_exn e)
+          | final ->
+              List.iter
+                (fun ((f : Cast.fundef), s) ->
+                  mark_analyzed env f.f_name;
+                  ifaces := (f.f_name, s) :: !ifaces)
+                final))
     fdg.Fdg.sccs;
   analyze_global_inits env;
   (env, List.rev !ifaces)
 
-let run ?rules ?field_sharing ?simplify mode prog =
+let run ?rules ?field_sharing ?simplify ?budget mode prog =
   match mode with
-  | Mono -> run_mono ?rules ?field_sharing prog
-  | Poly -> run_poly ?rules ?field_sharing ?simplify prog
-  | Polyrec -> run_polyrec ?rules ?field_sharing prog
+  | Mono -> run_mono ?rules ?field_sharing ?budget prog
+  | Poly -> run_poly ?rules ?field_sharing ?simplify ?budget prog
+  | Polyrec -> run_polyrec ?rules ?field_sharing ?budget prog
 
 (** Solver statistics accumulated by the analysis (see {!Solver.stats}). *)
 let stats (env : env) = Solver.stats env.store

@@ -15,6 +15,9 @@ type run = {
   solver_stats : Typequal.Solver.stats;
       (** constraint-store counters (unifications, dedup, cycle collapses,
           worklist pops) accumulated over the whole run *)
+  diagnostics : Cfront.Diag.t list;
+      (** lexer/parser diagnostics recovered from, in source order; empty
+          for a clean parse *)
 }
 
 let time f =
@@ -29,19 +32,38 @@ let compile src =
   | Error m -> raise (Error m)
   | Ok p -> Cfront.Cprog.build p
 
-let analyze ?rules ?field_sharing ?simplify mode prog =
+let analyze ?rules ?field_sharing ?simplify ?budget mode prog =
   let (env, ifaces), t =
-    time (fun () -> Analysis.run ?rules ?field_sharing ?simplify mode prog)
+    time (fun () ->
+        Analysis.run ?rules ?field_sharing ?simplify ?budget mode prog)
   in
   let results, t2 = time (fun () -> Report.measure env ifaces) in
   (env, results, t +. t2)
 
-(** Run one mode on C source. *)
+(** Run one mode on C source, recovering from lexer/parser errors: globals
+    that fail to parse are dropped (with a diagnostic), function bodies
+    that fail are demoted to prototypes and reported as degraded outcomes.
+    Raises only for faults that leave nothing to analyze (e.g.
+    [Cfront.Cprog.Frontend_error] from table construction). *)
 let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    (src : string) : run =
-  let prog, t_compile = time (fun () -> compile src) in
+    ?budget ?max_errors (src : string) : run =
+  let (pr, prog), t_compile =
+    time (fun () ->
+        let pr = Cfront.Cparse.parse_program_partial ?max_errors src in
+        (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+  in
   let env, results, t_analysis =
-    analyze ?rules ?field_sharing ?simplify mode prog
+    analyze ?rules ?field_sharing ?simplify ?budget mode prog
+  in
+  let results =
+    {
+      results with
+      Report.outcomes =
+        results.Report.outcomes
+        @ List.map
+            (fun (name, reason) -> (name, Analysis.Degraded reason))
+            pr.Cfront.Cparse.pr_degraded;
+    }
   in
   {
     results;
@@ -50,6 +72,7 @@ let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
     n_functions = List.length (Cfront.Cprog.functions prog);
     n_constraints = Typequal.Solver.num_vars env.Analysis.store;
     solver_stats = Analysis.stats env;
+    diagnostics = pr.Cfront.Cparse.pr_diags;
   }
 
 (** Run both modes, reusing the parse: one row of Table 2. *)

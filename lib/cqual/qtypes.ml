@@ -70,7 +70,12 @@ let rec rt_of_ctype ?seed store (ty : Cast.ctype) : rt =
   | TVoid _ -> RVoid
   | TInt _ | TFloat _ -> RBase
   | TStruct (tag, _) -> RStruct tag
-  | TNamed (n, _) -> failwith ("rt_of_ctype: unexpanded typedef " ^ n)
+  | TNamed (n, _) ->
+      (* an unexpanded typedef can only reach here when its definition was
+         lost (e.g. to a parse error); signal it like Cprog.expand does so
+         the analysis demotes the enclosing function to degraded instead
+         of crashing the run *)
+      raise (Cprog.Frontend_error ("unknown typedef " ^ n))
   | TPtr (target, _) | TArray (target, _, _) ->
       let c = cell_of_ctype ?seed store target in
       RPtr c

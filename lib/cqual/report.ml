@@ -34,6 +34,9 @@ type results = {
   total : int;  (** the "Total possible" column *)
   type_errors : int;  (** unsatisfiable constraints (0 for correct C) *)
   warnings : string list;
+  outcomes : (string * Analysis.outcome) list;
+      (** per-function fate, in source order; degraded functions have no
+          positions and their callers see unconstrained summaries *)
 }
 
 (* Walk the declared C type and the translated r-type in parallel,
@@ -74,17 +77,32 @@ let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
   in
   params @ ret
 
-(** Classify every interesting position after solving. *)
+(** Classify every interesting position after solving.
+
+    If the analysis ran under a {!Typequal.Budget} that tripped, the
+    solver's least/greatest solutions may be partial, so every position is
+    conservatively classified [Either] and every function is reported
+    degraded (keeping any more specific per-function reason already
+    recorded). *)
 let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
   let store = env.Analysis.store in
   ignore (Solver.solve store : (unit, Solver.error list) result);
   let type_errors = List.length (Solver.last_errors store) in
   let qual = env.Analysis.rules.Analysis.qr_name in
+  let budget_trip =
+    match env.Analysis.budget with
+    | Some b -> Typequal.Budget.exhausted b
+    | None -> None
+  in
   let positions =
     List.concat_map
       (fun (name, iface) ->
         match Cprog.find_fun env.Analysis.prog name with
-        | Some f -> positions_of_fun ~qual env.Analysis.prog f iface
+        | Some f -> (
+            try positions_of_fun ~qual env.Analysis.prog f iface
+            with Cprog.Frontend_error m ->
+              Analysis.degrade env name ("measurement failed: " ^ m);
+              [])
         | None -> [])
       ifaces
   in
@@ -92,13 +110,32 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
     List.map
       (fun p ->
         let v =
-          match Solver.classify_name store p.p_var qual with
-          | Solver.Forced_up -> Must_const
-          | Solver.Forced_down -> Must_not_const
-          | Solver.Free -> Either
+          if budget_trip <> None then Either
+          else
+            match Solver.classify_name store p.p_var qual with
+            | Solver.Forced_up -> Must_const
+            | Solver.Forced_down -> Must_not_const
+            | Solver.Free -> Either
         in
         (p, v))
       positions
+  in
+  let outcomes =
+    List.map
+      (fun (f : Cast.fundef) ->
+        let o =
+          match Hashtbl.find_opt env.Analysis.outcomes f.f_name with
+          | Some (Analysis.Degraded _ as o) -> o
+          | recorded -> (
+              match budget_trip with
+              | Some r -> Analysis.Degraded ("budget exhausted: " ^ r)
+              | None -> (
+                  match recorded with
+                  | Some o -> o
+                  | None -> Analysis.Analyzed))
+        in
+        (f.f_name, o))
+      (Cprog.functions env.Analysis.prog)
   in
   let count f = List.length (List.filter f classified) in
   {
@@ -109,6 +146,7 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
     total = List.length classified;
     type_errors;
     warnings = env.Analysis.warnings;
+    outcomes;
   }
 
 let pp_where ppf = function

@@ -5,6 +5,7 @@ let () =
       ("solver", Test_solver.tests);
       ("lambda", Test_lambda.tests);
       ("cfront", Test_cfront.tests);
+      ("resilience", Test_resilience.tests);
       ("cqual", Test_cqual.tests);
       ("eval", Test_eval.tests);
       ("flow", Test_flow.tests);
