@@ -12,6 +12,8 @@
                Poly-added / Other per benchmark (Figure 6), plus CSV
      scaling — inference time vs program size; checks "scales roughly
                linearly" and "polymorphic at most 3x monomorphic"
+     parallel— the multicore wavefront engine at 1/2/4 domains on a
+               32-kloc workload; writes BENCH_parallel.json
      ablation— (a) unsound covariant ref vs (SubRef); (b) struct field
                sharing off; (c) worklist vs naive solver
      solver  — online cycle elimination + incremental re-solve vs the
@@ -90,6 +92,8 @@ let jstats (s : TS.stats) =
       ("incr_solves", ji s.TS.incr_solves);
       ("full_solves", ji s.TS.full_solves);
       ("worklist_pops", ji s.TS.worklist_pops);
+      ("solve_s", jf s.TS.solve_s);
+      ("absorb_s", jf s.TS.absorb_s);
     ]
 
 let bench_sections : (string * json) list ref = ref []
@@ -647,7 +651,80 @@ let micro () =
   record_section "micro" (Jlist (List.rev !jrows))
 
 (* ------------------------------------------------------------------ *)
+(* Parallel analysis: the multicore wavefront engine at 1/2/4 domains   *)
+(* ------------------------------------------------------------------ *)
 
+let parallel () =
+  Fmt.pr "@.=== Parallel analysis: wavefront engine at 1/2/4 domains ===@.";
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "cores available: %d%s@." cores
+    (if cores < 2 then
+       " (single-core machine: no speedup is possible; this measures \
+        overhead and checks determinism)"
+     else "");
+  let lines = 32000 in
+  let src = Cbench.Gen.generate ~seed:(1000 + lines) ~target_lines:lines () in
+  let prog = Driver.compile src in
+  let fdg = Fdg.build prog in
+  Fmt.pr
+    "workload: %d lines, %d functions, %d sccs (largest %d), wavefront \
+     width %d@.@."
+    lines
+    (List.length (Cfront.Cprog.functions prog))
+    (Fdg.scc_count fdg) (Fdg.largest_scc fdg) (Fdg.wavefront_width fdg);
+  Fmt.pr "%-6s %5s %12s %9s %10s %10s %9s@." "mode" "jobs" "analyze(s)"
+    "speedup" "gen(s)" "merge(s)" "possible";
+  let jrows = ref [] in
+  List.iter
+    (fun (mname, mode) ->
+      let base = ref nan in
+      List.iter
+        (fun jobs ->
+          let analyze_s =
+            time_avg 2 (fun () ->
+                let env, ifaces = Analysis.run ~jobs mode prog in
+                Report.measure env ifaces)
+          in
+          let env, ifaces = Analysis.run ~jobs mode prog in
+          let r = Report.measure env ifaces in
+          if jobs = 1 then base := analyze_s;
+          let gen_s, merge_s =
+            match env.Analysis.par with
+            | Some p -> (p.Analysis.ps_gen_s, p.Analysis.ps_merge_s)
+            | None -> (0., 0.)
+          in
+          Fmt.pr "%-6s %5d %12.3f %8.2fx %10.3f %10.3f %9d@." mname jobs
+            analyze_s (!base /. analyze_s) gen_s merge_s r.Report.possible;
+          jrows :=
+            Jobj
+              [
+                ("mode", Jstr mname);
+                ("jobs", ji jobs);
+                ("analyze_s", jf analyze_s);
+                ("speedup_vs_serial", jf (!base /. analyze_s));
+                ("generate_s", jf gen_s);
+                ("merge_s", jf merge_s);
+                ("possible", ji r.Report.possible);
+                ("type_errors", ji r.Report.type_errors);
+                ("solver", jstats (Analysis.stats env));
+              ]
+            :: !jrows)
+        [ 1; 2; 4 ])
+    [ ("mono", Analysis.Mono); ("poly", Analysis.Poly) ];
+  let buf = Buffer.create 2048 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("cores_available", ji cores);
+         ("workload_lines", ji lines);
+         ("runs", Jlist (List.rev !jrows));
+       ]);
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's evaluation                            *)
@@ -694,6 +771,7 @@ let () =
     if want "figure6" then figure6 rows
   end;
   if want "scaling" then scaling ();
+  if want "parallel" then parallel ();
   if want "ablation" then ablation ();
   if want "ablation" || want "micro" || want "solver" then solver_ablation ();
   if want "extensions" then extensions ();

@@ -79,11 +79,11 @@ let budget_of_spec = function
            ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) s.bs_ms)
            ~clock:Unix.gettimeofday ())
 
-let run_one ~rules ~positions ~stats ~budget ~max_errors ~print_diags mode
-    name src =
+let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~print_diags
+    mode name src =
   let r =
-    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~max_errors
-      src
+    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~jobs
+      ~max_errors src
   in
   let res = r.Driver.results in
   (* diagnostics are a property of the source, not the mode: print them
@@ -107,8 +107,17 @@ let run_one ~rules ~positions ~stats ~budget ~max_errors ~print_diags mode
     (List.length res.Report.outcomes)
     n_analyzed (List.length degraded) r.Driver.n_constraints;
   List.iter (fun (f, reason) -> Fmt.pr "degraded: %s: %s@." f reason) degraded;
-  if stats then
+  if stats then begin
     Fmt.pr "solver: %a@." Typequal.Solver.pp_stats r.Driver.solver_stats;
+    Fmt.pr "fdg: %d sccs, largest %d, wavefront width %d@."
+      r.Driver.fdg_scc_count r.Driver.fdg_largest_scc r.Driver.wavefront_width;
+    match r.Driver.par with
+    | Some p ->
+        Fmt.pr "parallel: %d jobs, %d tasks, generate %.3fs, merge %.3fs@."
+          p.Analysis.ps_jobs p.Analysis.ps_tasks p.Analysis.ps_gen_s
+          p.Analysis.ps_merge_s
+    | None -> ()
+  end;
   Fmt.pr
     "interesting const positions: %d total; %d declared, %d possible (%d \
      must-const, %d could-be-either), %d must-not@."
@@ -151,7 +160,7 @@ let run_flow name src insensitive =
         1
       end
 
-let main file bench mode positions taint flow insensitive stats budget
+let main file bench mode positions taint flow insensitive stats budget jobs
     max_errors =
   let name, src =
     match (file, bench) with
@@ -183,7 +192,7 @@ let main file bench mode positions taint flow insensitive stats budget
   if flow then run_flow name src insensitive
   else
     let rules = if taint then Analysis.taint_rules else Analysis.const_rules in
-    let run_one = run_one ~rules ~positions ~stats ~budget ~max_errors in
+    let run_one = run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors in
     match
       let runs =
         match mode with
@@ -294,6 +303,17 @@ let budget =
            every function is reported degraded and every position \
            could-be-either.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int (Typequal.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Analysis worker domains. $(docv) > 1 runs the multicore engine \
+           (wavefront over the function dependence graph for poly/polyrec, \
+           per-function map-reduce for mono); results are identical to \
+           $(docv) = 1. Defaults to \\$TYPEQUAL_JOBS or 1.")
+
 let max_errors =
   Arg.(
     value & opt int 20
@@ -306,7 +326,7 @@ let cmd =
     (Cmd.info "cqualc" ~doc)
     Term.(
       const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
-      $ stats $ budget $ max_errors)
+      $ stats $ budget $ jobs $ max_errors)
 
 (* Last line of defense: whatever leaks out of the pipeline becomes a
    one-line message and exit 2 — users should never see a backtrace.

@@ -1,14 +1,20 @@
 (** Resource budgets: see the interface for semantics. Trip-style (no
-    exceptions): limits latch a reason string; consumers poll. *)
+    exceptions): limits latch a reason string; consumers poll.
+
+    All counters are {!Atomic.t} so one budget can be shared by every
+    worker domain of a parallel run: each private constraint store charges
+    the same counters, so [--budget] bounds the whole run, and a trip in
+    any domain is observed by all of them. *)
 
 type t = {
   max_vars : int option;
   max_pops : int option;
   deadline : float option;  (* absolute, in [clock] units *)
   clock : unit -> float;
-  mutable n_pops : int;
-  mutable n_ticks : int;
-  mutable tripped : string option;
+  n_vars : int Atomic.t;
+  n_pops : int Atomic.t;
+  n_ticks : int Atomic.t;
+  tripped : string option Atomic.t;
 }
 
 (* Poll the clock only every [poll_interval] events: reading time is far
@@ -23,16 +29,20 @@ let create ?max_vars ?max_pops ?deadline_s ?(clock = Sys.time) () =
     max_pops;
     deadline = Option.map (fun d -> clock () +. d) deadline_s;
     clock;
-    n_pops = 0;
-    n_ticks = 0;
-    tripped = None;
+    n_vars = Atomic.make 0;
+    n_pops = Atomic.make 0;
+    n_ticks = Atomic.make 0;
+    tripped = Atomic.make None;
   }
 
-let trip b reason = if b.tripped = None then b.tripped <- Some reason
+(* First trip wins; losing the race just means another domain latched a
+   reason a moment earlier, which is equally valid. *)
+let trip b reason =
+  ignore (Atomic.compare_and_set b.tripped None (Some reason) : bool)
 
-let exhausted b = b.tripped
-let is_exhausted b = b.tripped <> None
-let pops b = b.n_pops
+let exhausted b = Atomic.get b.tripped
+let is_exhausted b = Atomic.get b.tripped <> None
+let pops b = Atomic.get b.n_pops
 
 let check_time b =
   match b.deadline with
@@ -40,10 +50,11 @@ let check_time b =
   | _ -> ()
 
 let tick b =
-  b.n_ticks <- b.n_ticks + 1;
-  if b.n_ticks land (poll_interval - 1) = 0 then check_time b
+  let n = Atomic.fetch_and_add b.n_ticks 1 in
+  if (n + 1) land (poll_interval - 1) = 0 then check_time b
 
-let note_vars b n =
+let note_var b =
+  let n = Atomic.fetch_and_add b.n_vars 1 + 1 in
   (match b.max_vars with
   | Some m when n > m ->
       trip b
@@ -51,13 +62,14 @@ let note_vars b n =
   | _ -> ());
   tick b
 
+let vars b = Atomic.get b.n_vars
+
 let note_pop b =
-  b.n_pops <- b.n_pops + 1;
+  let n = Atomic.fetch_and_add b.n_pops 1 + 1 in
   (match b.max_pops with
-  | Some m when b.n_pops > m ->
+  | Some m when n > m ->
       trip b
-        (Printf.sprintf "solver worklist budget exceeded (%d > %d pops)"
-           b.n_pops m)
+        (Printf.sprintf "solver worklist budget exceeded (%d > %d pops)" n m)
   | _ -> ());
   (* pops share the tick counter so deadline polling sees every kind of
      work the analysis does, not just variable creation *)
@@ -72,4 +84,4 @@ let pp ppf b =
     Fmt.(option ~none:(any "none") float)
     b.deadline
     Fmt.(option (any " [tripped: " ++ string ++ any "]"))
-    b.tripped
+    (Atomic.get b.tripped)

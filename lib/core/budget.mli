@@ -3,7 +3,9 @@
     A budget converts runaway analysis into a reported, degraded outcome
     instead of a hang or an OOM kill. It tracks three optional limits:
 
-    - [max_vars]: constraint variables created in the store;
+    - [max_vars]: constraint variables created, {e summed across every
+      store charged against this budget} (parallel runs use one private
+      store per worker domain);
     - [max_pops]: solver worklist pops (propagation steps);
     - [deadline_s]: wall-clock seconds, checked via a poll counter so the
       clock is read only every few dozen events.
@@ -12,7 +14,11 @@
     {!exhausted} returns the reason and stays set. Consumers (the solver's
     propagation loop, {!Cqual.Analysis}) poll the flag and stop early;
     the run is then reported as degraded. Exception-free tripping keeps
-    every store invariant intact no matter where exhaustion is noticed. *)
+    every store invariant intact no matter where exhaustion is noticed.
+
+    Every counter is an {!Atomic.t}, so a single budget may be shared by
+    all worker domains of a parallel analysis: the limits bound the whole
+    run, and a trip in one domain is promptly observed by the others. *)
 
 type t
 
@@ -24,16 +30,18 @@ val create :
   unit ->
   t
 (** [clock] defaults to [Sys.time] (portable; the core library does not
-    depend on Unix). Callers with access to a monotonic or wall clock can
-    pass their own. The deadline is [clock () + deadline_s] at creation. *)
+    depend on Unix for budgets). Callers with access to a monotonic or
+    wall clock can pass their own. The deadline is [clock () + deadline_s]
+    at creation. *)
 
 val exhausted : t -> string option
 (** [Some reason] once any limit has been exceeded; never resets. *)
 
 val is_exhausted : t -> bool
 
-val note_vars : t -> int -> unit
-(** report the store's current variable count *)
+val note_var : t -> unit
+(** count one constraint-variable creation (in any store sharing this
+    budget) *)
 
 val note_pop : t -> unit
 (** count one worklist pop; also counts as a tick, so pops and variable
@@ -45,5 +53,8 @@ val tick : t -> unit
 
 val pops : t -> int
 (** pops observed so far (for reporting) *)
+
+val vars : t -> int
+(** variable creations observed so far, across all charged stores *)
 
 val pp : t Fmt.t

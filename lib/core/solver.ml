@@ -102,6 +102,8 @@ type stats = {
   incr_solves : int;
   full_solves : int;
   worklist_pops : int;
+  solve_s : float;
+  absorb_s : float;
 }
 
 type t = {
@@ -120,6 +122,11 @@ type t = {
   mutable solved : bool;
   dirty : (int, var) Hashtbl.t;
   edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, mask) *)
+  bound_seen : (int * int * int * bool, unit) Hashtbl.t;
+      (* (rep, const, mask, is_upper): constant bounds already applied to a
+         representative, so repeated scheme instantiation against shared
+         variables stops growing provenance lists — the bound-side twin of
+         [edge_seen] *)
   cycle_elim : bool;
   mutable budget : Budget.t option;
       (* optional resource guard: propagation stops early once it trips,
@@ -132,6 +139,8 @@ type t = {
   mutable s_incr : int;
   mutable s_full : int;
   mutable s_pops : int;
+  mutable s_solve_s : float;
+  mutable s_absorb_s : float;
 }
 
 let create ?(cycle_elim = true) space =
@@ -146,6 +155,7 @@ let create ?(cycle_elim = true) space =
     solved = false;
     dirty = Hashtbl.create 64;
     edge_seen = Hashtbl.create 256;
+    bound_seen = Hashtbl.create 256;
     cycle_elim;
     budget = None;
     s_unified = 0;
@@ -155,6 +165,8 @@ let create ?(cycle_elim = true) space =
     s_incr = 0;
     s_full = 0;
     s_pops = 0;
+    s_solve_s = 0.;
+    s_absorb_s = 0.;
   }
 
 let space t = t.space
@@ -174,14 +186,17 @@ let stats t =
     incr_solves = t.s_incr;
     full_solves = t.s_full;
     worklist_pops = t.s_pops;
+    solve_s = t.s_solve_s;
+    absorb_s = t.s_absorb_s;
   }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "vars %d (%d unified), edges %d (%d deduped), cycles %d, solves %d incr + \
-     %d full, %d worklist pops"
+     %d full, %d worklist pops, %.3fs solving, %.3fs absorbing"
     s.vars_created s.vars_unified s.edges_added s.edges_deduped
-    s.cycles_collapsed s.incr_solves s.full_solves s.worklist_pops
+    s.cycles_collapsed s.incr_solves s.full_solves s.worklist_pops s.solve_s
+    s.absorb_s
 
 let fresh ?(name = "q") t =
   let sp = t.space in
@@ -203,7 +218,7 @@ let fresh ?(name = "q") t =
   in
   t.nvars <- t.nvars + 1;
   t.vars <- v :: t.vars;
-  Option.iter (fun b -> Budget.note_vars b t.nvars) t.budget;
+  Option.iter Budget.note_var t.budget;
   (* a fresh variable has no constraints: its current (lo, hi) is already
      its solution, so [solved] and the dirty set are untouched *)
   v
@@ -220,32 +235,47 @@ let log_atom t atom =
 
 let mark_dirty t v = Hashtbl.replace t.dirty v.id v
 
-(* var <= const, restricted to the coordinates in [mask]. *)
+(* var <= const, restricted to the coordinates in [mask]. Constant bounds
+   are deduplicated on insertion like edges: a repeated instantiation that
+   re-derives an identical bound on the same representative is counted as
+   deduped and adds nothing — in particular no provenance entry, so
+   [hi_reasons] stops growing with the instantiation count. *)
 let add_leq_vc ?reason ?mask t v c =
   let mask = Option.value mask ~default:(Elt.full_mask t.space) in
   log_atom t (Avc (v, c, mask, reason));
   let r = find v in
-  r.hi_reasons <- (c, mask, reason) :: r.hi_reasons;
-  let hb' = Elt.meet t.space r.hi_bound (Elt.embed_top t.space ~mask c) in
-  if not (Elt.equal hb' r.hi_bound) then begin
-    r.hi_bound <- hb';
-    r.hi <- Elt.meet t.space r.hi hb';
-    t.solved <- false;
-    mark_dirty t r
+  let k = (r.id, (c : Elt.t), mask, true) in
+  if Hashtbl.mem t.bound_seen k then t.s_dedup <- t.s_dedup + 1
+  else begin
+    Hashtbl.add t.bound_seen k ();
+    r.hi_reasons <- (c, mask, reason) :: r.hi_reasons;
+    let hb' = Elt.meet t.space r.hi_bound (Elt.embed_top t.space ~mask c) in
+    if not (Elt.equal hb' r.hi_bound) then begin
+      r.hi_bound <- hb';
+      r.hi <- Elt.meet t.space r.hi hb';
+      t.solved <- false;
+      mark_dirty t r
+    end
   end
 
-(* const <= var, restricted to [mask]. *)
+(* const <= var, restricted to [mask]. Dual of [add_leq_vc], including the
+   bound dedup. *)
 let add_leq_cv ?reason ?mask t c v =
   let mask = Option.value mask ~default:(Elt.full_mask t.space) in
   log_atom t (Acv (c, v, mask, reason));
   let r = find v in
-  r.lo_reasons <- (c, mask, reason) :: r.lo_reasons;
-  let lb' = Elt.join t.space r.lo_bound (Elt.embed_bottom t.space ~mask c) in
-  if not (Elt.equal lb' r.lo_bound) then begin
-    r.lo_bound <- lb';
-    r.lo <- Elt.join t.space r.lo lb';
-    t.solved <- false;
-    mark_dirty t r
+  let k = (r.id, (c : Elt.t), mask, false) in
+  if Hashtbl.mem t.bound_seen k then t.s_dedup <- t.s_dedup + 1
+  else begin
+    Hashtbl.add t.bound_seen k ();
+    r.lo_reasons <- (c, mask, reason) :: r.lo_reasons;
+    let lb' = Elt.join t.space r.lo_bound (Elt.embed_bottom t.space ~mask c) in
+    if not (Elt.equal lb' r.lo_bound) then begin
+      r.lo_bound <- lb';
+      r.lo <- Elt.join t.space r.lo lb';
+      t.solved <- false;
+      mark_dirty t r
+    end
   end
 
 (* Merge representative [o] into representative [r] (rank order decided by
@@ -253,7 +283,7 @@ let add_leq_cv ?reason ?mask t c v =
    migrate to [r] with self-loops dropped and duplicates skipped. Stale
    entries naming [o] in {e other} variables' lists are left in place —
    propagation resolves every edge endpoint through [find]. *)
-let absorb t r o =
+let absorb_var t r o =
   let sp = t.space in
   o.parent <- r;
   r.lo_bound <- Elt.join sp r.lo_bound o.lo_bound;
@@ -298,7 +328,7 @@ let union t a b =
   else begin
     let r, o = if a.rank >= b.rank then (a, b) else (b, a) in
     if r.rank = o.rank then r.rank <- r.rank + 1;
-    absorb t r o;
+    absorb_var t r o;
     r
   end
 
@@ -563,13 +593,15 @@ let result_of_errors t =
    region reaches exactly the variables whose solution can have changed. *)
 let solve t =
   if not t.solved then begin
+    let t0 = Unix.gettimeofday () in
     let touched = ref [] in
     propagate t ~seed:(fun push -> Hashtbl.iter (fun _ v -> push v) t.dirty)
       ~touched;
     check_violations t !touched;
     Hashtbl.reset t.dirty;
     t.solved <- true;
-    t.s_incr <- t.s_incr + 1
+    t.s_incr <- t.s_incr + 1;
+    t.s_solve_s <- t.s_solve_s +. (Unix.gettimeofday () -. t0)
   end;
   result_of_errors t
 
@@ -577,6 +609,7 @@ let solve t =
    everywhere. The ablation baseline for incremental solving, and a
    self-check hook (the fixpoint is unique, so the results must agree). *)
 let solve_from_scratch t =
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun v ->
       if v.parent == v then begin
@@ -600,6 +633,7 @@ let solve_from_scratch t =
   Hashtbl.reset t.dirty;
   t.solved <- true;
   t.s_full <- t.s_full + 1;
+  t.s_solve_s <- t.s_solve_s +. (Unix.gettimeofday () -. t0);
   result_of_errors t
 
 let least t v =
@@ -667,13 +701,29 @@ let scheme_atoms s = s.atoms
 (* Re-emit the scheme's constraints under a fresh renaming of its locals.
    Returns the renaming so callers can rebuild the instantiated type.
    Atoms name original variables, so each instance re-derives its own
-   edges (and hence its own unifications) among the fresh copies. *)
-let instantiate t s =
+   edges (and hence its own unifications) among the fresh copies.
+
+   [?bind] lets a caller resolve some scheme variables to existing
+   variables of [t] instead of freshening them: the parallel analysis uses
+   it to instantiate a scheme recorded in one store into another, mapping
+   the first store's variables to their mirrors without materializing any
+   extra copies (which would perturb variable-creation parity with the
+   serial run). A bound variable is never freshened; a free variable that
+   [bind] does not resolve is used as-is, exactly as before. *)
+let instantiate ?bind t s =
+  let bound v = match bind with Some f -> f v | None -> None in
   let map = Hashtbl.create (List.length s.locals) in
   List.iter
-    (fun v -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
+    (fun v ->
+      match bound v with
+      | Some v' -> Hashtbl.replace map v.id v'
+      | None -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
     s.locals;
-  let rn v = match Hashtbl.find_opt map v.id with Some v' -> v' | None -> v in
+  let rn v =
+    match Hashtbl.find_opt map v.id with
+    | Some v' -> v'
+    | None -> ( match bound v with Some v' -> v' | None -> v)
+  in
   List.iter
     (function
       | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
@@ -681,6 +731,51 @@ let instantiate t s =
       | Avv (a, b, mask, reason) -> add_leq_vv ?reason ~mask t (rn a) (rn b))
     s.atoms;
   rn
+
+(* ------------------------------------------------------------------ *)
+(* Batched constraint merge (parallel map-reduce support)              *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch is the complete, ordered content of a store: every variable in
+   creation order and every atom in insertion order. Exporting a private
+   worker store and absorbing it into the shared store replays exactly the
+   operations the serial analysis would have performed, so dedup, cycle
+   collapse and the final solution are identical. *)
+type batch = {
+  b_vars : var list;  (* creation order *)
+  b_atoms : atom list;  (* insertion order *)
+}
+
+let export t = { b_vars = List.rev t.vars; b_atoms = List.rev t.log }
+
+let batch_vars b = List.length b.b_vars
+let batch_atoms b = List.length b.b_atoms
+
+(* Replay [b] into [t]. [?bind] resolves batch variables that must map to
+   pre-existing variables of [t] (the worker's mirrors of shared globals);
+   every other batch variable is re-created fresh, {e in the batch's
+   creation order}, so the absorbing store allocates the same number of
+   variables in the same sequence as a serial run that had generated the
+   batch's constraints directly. Returns the realized renaming. *)
+let absorb t ?bind (b : batch) =
+  let t0 = Unix.gettimeofday () in
+  let bound v = match bind with Some f -> f v | None -> None in
+  let map = Hashtbl.create (List.length b.b_vars) in
+  List.iter
+    (fun v ->
+      match bound v with
+      | Some g -> Hashtbl.replace map v.id g
+      | None -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
+    b.b_vars;
+  let rn v = match Hashtbl.find_opt map v.id with Some v' -> v' | None -> v in
+  List.iter
+    (function
+      | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
+      | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
+      | Avv (x, y, mask, reason) -> add_leq_vv ?reason ~mask t (rn x) (rn y))
+    b.b_atoms;
+  t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
+  fun v -> Hashtbl.find_opt map v.id
 
 let pp_atom sp ppf = function
   | Avc (v, c, _, _) -> Fmt.pf ppf "%a <= %a" pp_var v (Elt.pp_full sp) c

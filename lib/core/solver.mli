@@ -73,7 +73,10 @@ val pp_var : var Fmt.t
 (** {1 Adding constraints}
 
     All take an optional [mask] restricting the affected coordinates
-    (default: all) and an optional human-readable [reason]. *)
+    (default: all) and an optional human-readable [reason]. Edges and
+    constant bounds are deduplicated on insertion (per representative), so
+    repeated scheme instantiations against the same variables stop growing
+    edge and provenance lists. *)
 
 val add_leq_vc : ?reason:string -> ?mask:int -> t -> var -> Elt.t -> unit
 val add_leq_cv : ?reason:string -> ?mask:int -> t -> Elt.t -> var -> unit
@@ -145,10 +148,39 @@ val scheme_atoms : scheme -> atom list
 val scheme_size : scheme -> int
 (** number of atoms *)
 
-val instantiate : t -> scheme -> var -> var
-(** re-emit the scheme's constraints under a fresh renaming of all its
+val instantiate : ?bind:(var -> var option) -> t -> scheme -> var -> var
+(** Re-emit the scheme's constraints under a fresh renaming of all its
     locals (so instances cannot interfere — the existential binding of
-    Section 3.2); returns the renaming, the identity on non-locals *)
+    Section 3.2); returns the renaming, the identity on non-locals.
+
+    [?bind] resolves a scheme variable (local or free) to an existing
+    variable of [t] instead of freshening it. The parallel analysis uses
+    it to instantiate a scheme recorded in another store: scheme-local
+    variables still freshen, but the scheme's free variables — which name
+    the {e other} store's globals — are redirected to this store's mirrors
+    rather than used as-is. *)
+
+(** {1 Batched constraint merge (parallel map-reduce)} *)
+
+type batch
+(** the complete ordered content of a store: every variable in creation
+    order, every atom in insertion order *)
+
+val export : t -> batch
+
+val batch_vars : batch -> int
+val batch_atoms : batch -> int
+
+val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
+(** Replay a batch (typically exported from a worker's private store) into
+    [t]: batch variables resolved by [?bind] map to existing variables of
+    [t] (the worker's mirrors of shared globals) and are {e not}
+    re-created; every other batch variable is created fresh in the batch's
+    creation order; then every atom is re-added through the normal
+    [add_leq_*] entry points, so edge/bound dedup and online cycle
+    elimination apply exactly as if the constraints had been generated
+    serially. Returns the realized renaming ([None] for batch variables
+    the batch did not contain). *)
 
 val simplify_scheme : t -> interface:var list -> scheme -> scheme
 (** Simplify a scheme (a basic answer to the open problem of Section 6):
@@ -191,6 +223,8 @@ type stats = {
   incr_solves : int;  (** incremental {!solve} runs *)
   full_solves : int;  (** {!solve_from_scratch} runs *)
   worklist_pops : int;  (** total propagation steps across all solves *)
+  solve_s : float;  (** wall seconds inside {!solve}/{!solve_from_scratch} *)
+  absorb_s : float;  (** wall seconds inside {!absorb} *)
 }
 
 val stats : t -> stats

@@ -18,6 +18,13 @@ type run = {
   diagnostics : Cfront.Diag.t list;
       (** lexer/parser diagnostics recovered from, in source order; empty
           for a clean parse *)
+  fdg_scc_count : int;  (** SCCs in the function dependence graph *)
+  fdg_largest_scc : int;  (** size of the largest (mutual-recursion) SCC *)
+  wavefront_width : int;
+      (** maximum SCCs simultaneously ready under wavefront scheduling: an
+          upper bound on useful analysis parallelism *)
+  par : Analysis.par_stats option;
+      (** parallel-engine phase breakdown; [None] for serial runs *)
 }
 
 let time f =
@@ -32,10 +39,10 @@ let compile src =
   | Error m -> raise (Error m)
   | Ok p -> Cfront.Cprog.build p
 
-let analyze ?rules ?field_sharing ?simplify ?budget mode prog =
+let analyze ?rules ?field_sharing ?simplify ?budget ?jobs mode prog =
   let (env, ifaces), t =
     time (fun () ->
-        Analysis.run ?rules ?field_sharing ?simplify ?budget mode prog)
+        Analysis.run ?rules ?field_sharing ?simplify ?budget ?jobs mode prog)
   in
   let results, t2 = time (fun () -> Report.measure env ifaces) in
   (env, results, t +. t2)
@@ -46,15 +53,16 @@ let analyze ?rules ?field_sharing ?simplify ?budget mode prog =
     Raises only for faults that leave nothing to analyze (e.g.
     [Cfront.Cprog.Frontend_error] from table construction). *)
 let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    ?budget ?max_errors (src : string) : run =
+    ?budget ?jobs ?max_errors (src : string) : run =
   let (pr, prog), t_compile =
     time (fun () ->
         let pr = Cfront.Cparse.parse_program_partial ?max_errors src in
         (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
   in
   let env, results, t_analysis =
-    analyze ?rules ?field_sharing ?simplify ?budget mode prog
+    analyze ?rules ?field_sharing ?simplify ?budget ?jobs mode prog
   in
+  let fdg = Fdg.build prog in
   let results =
     {
       results with
@@ -73,6 +81,10 @@ let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
     n_constraints = Typequal.Solver.num_vars env.Analysis.store;
     solver_stats = Analysis.stats env;
     diagnostics = pr.Cfront.Cparse.pr_diags;
+    fdg_scc_count = Fdg.scc_count fdg;
+    fdg_largest_scc = Fdg.largest_scc fdg;
+    wavefront_width = Fdg.wavefront_width fdg;
+    par = env.Analysis.par;
   }
 
 (** Run both modes, reusing the parse: one row of Table 2. *)

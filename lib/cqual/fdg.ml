@@ -89,3 +89,57 @@ let scc_count t = List.length t.sccs
 
 let largest_scc t =
   List.fold_left (fun m s -> max m (List.length s)) 0 t.sccs
+
+(* Per-SCC dependency structure over the indices of [t.sccs], for the
+   wavefront scheduler. An edge [f -> g] means [f] mentions [g], so [f]'s
+   SCC depends on (must be analyzed after) [g]'s. [in_degree.(i)] counts
+   the distinct SCCs that SCC [i] depends on; [dependents.(j)] lists the
+   SCCs depending on [j] — the candidates released when [j] completes. *)
+let scc_deps t : int array * int list array =
+  let sccs = Array.of_list t.sccs in
+  let n = Array.length sccs in
+  let scc_of = Hashtbl.create 64 in
+  Array.iteri (fun i scc -> List.iter (fun f -> Hashtbl.replace scc_of f i) scc) sccs;
+  let in_degree = Array.make n 0 in
+  let dependents = Array.make n [] in
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i scc ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun g ->
+              match Hashtbl.find_opt scc_of g with
+              | Some j when j <> i && not (Hashtbl.mem seen (i, j)) ->
+                  Hashtbl.add seen (i, j) ();
+                  in_degree.(i) <- in_degree.(i) + 1;
+                  dependents.(j) <- i :: dependents.(j)
+              | _ -> ())
+            (try Hashtbl.find t.edges f with Not_found -> []))
+        scc)
+    sccs;
+  (in_degree, dependents)
+
+(* Maximum number of SCCs simultaneously ready under level-synchronous
+   (Kahn) scheduling: an upper bound on useful analysis parallelism, and
+   the figure [--stats] reports as the wavefront width. *)
+let wavefront_width t =
+  let in_degree, dependents = scc_deps t in
+  let indeg = Array.copy in_degree in
+  let frontier = ref [] in
+  Array.iteri (fun i d -> if d = 0 then frontier := i :: !frontier) indeg;
+  let width = ref 0 in
+  while !frontier <> [] do
+    width := max !width (List.length !frontier);
+    let next = ref [] in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then next := j :: !next)
+          dependents.(i))
+      !frontier;
+    frontier := !next
+  done;
+  !width

@@ -7,6 +7,7 @@ let () =
       ("cfront", Test_cfront.tests);
       ("resilience", Test_resilience.tests);
       ("cqual", Test_cqual.tests);
+      ("parallel", Test_parallel.tests);
       ("eval", Test_eval.tests);
       ("flow", Test_flow.tests);
       ("properties", Test_props.tests);

@@ -447,6 +447,48 @@ let test_edge_dedup () =
   S.add_leq_vv ~mask:(E.singleton_mask sp i) st a b;
   Alcotest.(check int) "masked edge is distinct" 2 (S.stats st).S.edges_added
 
+let test_bound_dedup () =
+  (* constant bounds dedup like edges: same var, constant and mask *)
+  let sp = space () in
+  let st = S.create sp in
+  let a = S.fresh st in
+  for _ = 1 to 50 do
+    S.add_leq_vc st a (E.not_name sp "const")
+  done;
+  Alcotest.(check int) "repeat bounds deduped" 49 (S.stats st).S.edges_deduped;
+  (* a different mask is a different bound *)
+  let i = Sp.find sp "const" in
+  S.add_leq_vc ~mask:(E.singleton_mask sp i) st a (E.not_name sp "const");
+  Alcotest.(check int) "masked bound is distinct" 49
+    (S.stats st).S.edges_deduped
+
+let test_instantiate_bound_dedup () =
+  (* regression: instantiation used to re-add identical constant bounds on
+     the scheme's free variables every time, bypassing dedup — visible as
+     [edges_deduped: 0] on polymorphic runs while provenance lists grew
+     with every call site *)
+  let sp = space () in
+  let st = S.create sp in
+  let g = S.fresh ~name:"global" st in
+  let local, atoms =
+    S.recording st (fun () ->
+        let l = S.fresh st in
+        S.add_leq_vv st l g;
+        S.add_leq_vc st g (E.not_name sp "const");
+        l)
+  in
+  let sch = S.make_scheme ~locals:[ local ] ~atoms in
+  let before = (S.stats st).S.edges_deduped in
+  for _ = 1 to 10 do
+    ignore (S.instantiate st sch : S.var -> S.var)
+  done;
+  (* each instance freshens [l] (new edge, not a duplicate) but re-emits
+     the same bound on the shared [g]: all ten dedup *)
+  Alcotest.(check int) "shared bound deduped per instance" (before + 10)
+    (S.stats st).S.edges_deduped;
+  Alcotest.(check bool) "system stays satisfiable" true
+    (match S.solve st with Ok () -> true | Error _ -> false)
+
 let test_masked_cycle_not_unified () =
   let sp = space () in
   let st = S.create sp in
@@ -515,6 +557,9 @@ let tests =
         test_last_errors;
       Alcotest.test_case "online cycle collapse" `Quick test_cycle_collapse;
       Alcotest.test_case "edge dedup on insertion" `Quick test_edge_dedup;
+      Alcotest.test_case "bound dedup on insertion" `Quick test_bound_dedup;
+      Alcotest.test_case "instantiation dedups shared bounds" `Quick
+        test_instantiate_bound_dedup;
       Alcotest.test_case "masked cycles stay apart" `Quick
         test_masked_cycle_not_unified;
       Alcotest.test_case "incremental = from-scratch = oracle" `Quick
