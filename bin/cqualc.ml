@@ -79,11 +79,11 @@ let budget_of_spec = function
            ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) s.bs_ms)
            ~clock:Unix.gettimeofday ())
 
-let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~print_diags
-    mode name src =
+let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
+    ~print_diags mode name src =
   let r =
-    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~jobs
-      ~max_errors src
+    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~compact
+      ~jobs ~max_errors src
   in
   let res = r.Driver.results in
   (* diagnostics are a property of the source, not the mode: print them
@@ -161,7 +161,7 @@ let run_flow name src insensitive =
       end
 
 let main file bench mode positions taint flow insensitive stats budget jobs
-    max_errors =
+    max_errors no_compact =
   let name, src =
     match (file, bench) with
     | Some f, _ -> (f, read_file f)
@@ -192,7 +192,10 @@ let main file bench mode positions taint flow insensitive stats budget jobs
   if flow then run_flow name src insensitive
   else
     let rules = if taint then Analysis.taint_rules else Analysis.const_rules in
-    let run_one = run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors in
+    let run_one =
+      run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors
+        ~compact:(not no_compact)
+    in
     match
       let runs =
         match mode with
@@ -320,13 +323,22 @@ let max_errors =
     & info [ "max-errors" ] ~docv:"N"
         ~doc:"Stop collecting lexer/parser diagnostics after $(docv)")
 
+let no_compact =
+  Arg.(
+    value & flag
+    & info [ "no-compact" ]
+        ~doc:
+          "Disable scheme compaction and instantiation memoization \
+           (the ablation baseline). Reports are identical either way; \
+           only constraint-system size and speed differ.")
+
 let cmd =
   let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
   Cmd.v
     (Cmd.info "cqualc" ~doc)
     Term.(
       const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
-      $ stats $ budget $ jobs $ max_errors)
+      $ stats $ budget $ jobs $ max_errors $ no_compact)
 
 (* Last line of defense: whatever leaks out of the pipeline becomes a
    one-line message and exit 2 — users should never see a backtrace.

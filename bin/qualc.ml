@@ -27,7 +27,7 @@ let space_of = function
   | SFig2 -> (Rules.fig2_space, Rules.fig2_hooks)
   | STaint -> (Rules.taint_space, Rules.taint_hooks)
 
-let main expr file poly run_it spacekind stats =
+let main expr file poly run_it spacekind stats no_compact =
   let src =
     match (expr, file) with
     | Some e, _ -> e
@@ -42,7 +42,7 @@ let main expr file poly run_it spacekind stats =
       Fmt.epr "parse error: %s@." m;
       exit 2
   | Ok ast -> (
-      match Infer.check ~hooks ~poly space ast with
+      match Infer.check ~hooks ~poly ~compact:(not no_compact) space ast with
       | Error msgs ->
           Fmt.pr "ill-typed:@.";
           List.iter (fun m -> Fmt.pr "  %s@." m) msgs;
@@ -96,9 +96,17 @@ let stats =
     & info [ "stats" ]
         ~doc:"Print constraint-solver statistics after checking")
 
+let no_compact =
+  Arg.(
+    value & flag
+    & info [ "no-compact" ]
+        ~doc:"Disable scheme compaction at let-generalization (ablation)")
+
 let cmd =
   let doc = "qualified type inference for the example language (PLDI 1999)" in
   Cmd.v (Cmd.info "qualc" ~doc)
-    Term.(const main $ expr $ file $ poly $ run_it $ spacekind $ stats)
+    Term.(
+      const main $ expr $ file $ poly $ run_it $ spacekind $ stats
+      $ no_compact)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+/* Deep chains of tiny polymorphic helpers: the scheme-compaction
+   showcase (run with and without --no-compact and compare the
+   "qualifier variables" line; the const report is identical).
+
+   Each step function just forwards its argument, but under
+   polymorphic analysis every level's type scheme embeds an instance
+   of the level below it — without compaction the constraint system
+   grows quadratically with chain depth. Compaction projects each
+   scheme onto its interface variables, so growth is linear.
+
+   The trim/skip helpers are shared flat-returning readers called
+   several times with the same argument inside one caller: eligible
+   calls after the first reuse the first call's instantiation (the
+   "memoized instantiations" stat). */
+
+int printf(const char *fmt, ...);
+
+/* chain A: forwarders over a const-preserving cursor */
+char *a0(char *s) { return s; }
+char *a1(char *s) { return a0(s); }
+char *a2(char *s) { return a1(s); }
+char *a3(char *s) { return a2(s); }
+char *a4(char *s) { return a3(s); }
+char *a5(char *s) { return a4(s); }
+char *a6(char *s) { return a5(s); }
+char *a7(char *s) { return a6(s); }
+
+/* chain B, built on top of the whole of chain A */
+char *b0(char *s) { return a7(s); }
+char *b1(char *s) { return b0(s); }
+char *b2(char *s) { return b1(s); }
+char *b3(char *s) { return b2(s); }
+char *b4(char *s) { return b3(s); }
+char *b5(char *s) { return b4(s); }
+char *b6(char *s) { return b5(s); }
+char *b7(char *s) { return b6(s); }
+
+/* shared flat readers: called repeatedly with the same argument */
+int length(const char *s) {
+  int n = 0;
+  while (*s) { n++; s++; }
+  return n;
+}
+
+int spaces(const char *s) {
+  int n = 0;
+  while (*s) { if (*s == ' ') n++; s++; }
+  return n;
+}
+
+/* reads only, through the full B chain */
+int probe(char *s) {
+  char *t;
+  t = b7(s);
+  return *t;
+}
+
+/* several same-argument calls of the shared readers: memo hits */
+int poll(char *s) {
+  int n;
+  n = length(s) + length(s);
+  n = n + spaces(s) + spaces(s);
+  return n;
+}
+
+/* writes through the A chain: its argument can never be const */
+void smudge(char *dst) {
+  char *t;
+  t = a7(dst);
+  *t = 'x';
+}
+
+int main(int argc, char **argv) {
+  char clean[32];
+  char dirty[32];
+  probe(clean);
+  poll(clean);
+  smudge(dirty);
+  printf("%d\n", length("chains"));
+  return 0;
+}

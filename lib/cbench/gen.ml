@@ -248,3 +248,81 @@ let generate ?(profile = default_profile) ~seed ~target_lines () : string =
   out "  return 0;";
   out "}";
   Buffer.contents buf
+
+let chains_prelude =
+  {|/* synthetic chains benchmark: generated, deterministic */
+int printf(const char *fmt, ...);
+int strlen(const char *s);
+char *g_buffer;
+|}
+
+(** Deep chains of tiny polymorphic helpers — the scheme-compaction
+    stress workload. Each chain is [depth] one-line pass-through functions
+    [char *step_C_K(char *s) { return step_C_(K-1)(s); }]: without
+    compaction the scheme of level K contains a full instance of the
+    level-(K-1) scheme, so instantiation work (and variables created)
+    grows quadratically with [depth]; compacted, every scheme projects to
+    its handful of interface variables and the growth is linear. Shared
+    flat-returning readers called repeatedly with the same argument
+    exercise the instantiation memo; a writer keeps the workload's
+    mono/poly distinction alive. *)
+let generate_chains ?(depth = 24) ~seed ~target_lines () : string =
+  let rng = Rng.create seed in
+  let buf = Buffer.create (target_lines * 32) in
+  Buffer.add_string buf chains_prelude;
+  let lines = ref (List.length (String.split_on_char '\n' chains_prelude)) in
+  let out fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n';
+        String.iter (fun c -> if c = '\n' then incr lines) s;
+        incr lines)
+      fmt
+  in
+  (* shared readers with flat results: the same const-pointer argument
+     flows in at every call site, so within one caller all calls after the
+     first are memo hits *)
+  let readers = [ "rd_len"; "rd_sum"; "rd_spaces" ] in
+  out "int rd_len(const char *s) { int n = 0; while (*s) { n++; s++; } return n; }";
+  out "int rd_sum(const char *s) { int h = 0; while (*s) { h = h + *s; s++; } return h; }";
+  out "int rd_spaces(const char *s) { int n = 0; while (*s) { if (*s == ' ') n++; s++; } return n; }";
+  out "void smudge(char *dst) { *dst = 'x'; }";
+  out "";
+  let chains = ref [] in
+  let nchains = ref 0 in
+  (* reserve room for main's two calls per chain *)
+  while !lines + (2 * !nchains) + 10 < target_lines do
+    let c = !nchains in
+    incr nchains;
+    out "char *step_%d_0(char *s) { return s; }" c;
+    for k = 1 to depth - 1 do
+      out "char *step_%d_%d(char *s) { return step_%d_%d(s); }" c k c (k - 1)
+    done;
+    out "int probe_%d(char *s) {" c;
+    out "  char *t;";
+    out "  t = step_%d_%d(s);" c (depth - 1);
+    out "  return *t;";
+    out "}";
+    out "int poll_%d(char *s) {" c;
+    out "  int n = 0;";
+    for _ = 1 to 2 + Rng.int rng 3 do
+      out "  n = n + %s(s);" (Rng.pick_list rng readers)
+    done;
+    out "  return n;";
+    out "}";
+    out "";
+    chains := c :: !chains
+  done;
+  out "int main(int argc, char **argv) {";
+  out "  char local[64];";
+  out "  smudge(local);";
+  List.iter
+    (fun c ->
+      out "  probe_%d(local);" c;
+      out "  poll_%d(local);" c)
+    (List.rev !chains);
+  out "  printf(\"%%d\\n\", g_buffer != 0);";
+  out "  return 0;";
+  out "}";
+  Buffer.contents buf

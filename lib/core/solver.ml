@@ -61,6 +61,11 @@ type var = {
       (* stable creation-order id; kept as the first field so structural
          compare decides on it before reaching the cyclic [parent] *)
   vname : string;
+  uid : int;
+      (* globally unique across stores (atomic counter). Renaming maps that
+         can mix variables of two stores — [instantiate] on an imported
+         scheme whose free variables were resolved to local mirrors — must
+         key on [uid]: per-store [id]s both count from 0 and collide. *)
   mutable parent : var;  (* union-find: self iff representative *)
   mutable rank : int;
   mutable lo_bound : Elt.t;  (* join of constant lower bounds (embedded) *)
@@ -104,6 +109,12 @@ type stats = {
   worklist_pops : int;
   solve_s : float;
   absorb_s : float;
+  scheme_vars_before : int;  (* locals entering [compact], summed *)
+  scheme_vars_after : int;
+  scheme_edges_before : int;  (* constraint atoms entering [compact], summed *)
+  scheme_edges_after : int;
+  instantiations_memo_hits : int;
+  empty_batches_skipped : int;
 }
 
 type t = {
@@ -141,6 +152,12 @@ type t = {
   mutable s_pops : int;
   mutable s_solve_s : float;
   mutable s_absorb_s : float;
+  mutable s_sv_before : int;
+  mutable s_sv_after : int;
+  mutable s_se_before : int;
+  mutable s_se_after : int;
+  mutable s_memo_hits : int;
+  mutable s_skipped_batches : int;
 }
 
 let create ?(cycle_elim = true) space =
@@ -167,6 +184,12 @@ let create ?(cycle_elim = true) space =
     s_pops = 0;
     s_solve_s = 0.;
     s_absorb_s = 0.;
+    s_sv_before = 0;
+    s_sv_after = 0;
+    s_se_before = 0;
+    s_se_after = 0;
+    s_memo_hits = 0;
+    s_skipped_batches = 0;
   }
 
 let space t = t.space
@@ -188,15 +211,41 @@ let stats t =
     worklist_pops = t.s_pops;
     solve_s = t.s_solve_s;
     absorb_s = t.s_absorb_s;
+    scheme_vars_before = t.s_sv_before;
+    scheme_vars_after = t.s_sv_after;
+    scheme_edges_before = t.s_se_before;
+    scheme_edges_after = t.s_se_after;
+    instantiations_memo_hits = t.s_memo_hits;
+    empty_batches_skipped = t.s_skipped_batches;
   }
+
+(* Fold compaction/memo counters accrued in a worker-private store into the
+   shared store, so `--stats` totals cover parallel runs. Only the additive
+   bookkeeping counters transfer; everything else (vars, edges, solve
+   times) already flows through the batch absorb path. *)
+let merge_aux_stats t (s : stats) =
+  t.s_sv_before <- t.s_sv_before + s.scheme_vars_before;
+  t.s_sv_after <- t.s_sv_after + s.scheme_vars_after;
+  t.s_se_before <- t.s_se_before + s.scheme_edges_before;
+  t.s_se_after <- t.s_se_after + s.scheme_edges_after;
+  t.s_memo_hits <- t.s_memo_hits + s.instantiations_memo_hits;
+  t.s_skipped_batches <- t.s_skipped_batches + s.empty_batches_skipped
+
+let note_memo_hit t = t.s_memo_hits <- t.s_memo_hits + 1
+let note_skipped_batch t = t.s_skipped_batches <- t.s_skipped_batches + 1
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "vars %d (%d unified), edges %d (%d deduped), cycles %d, solves %d incr + \
-     %d full, %d worklist pops, %.3fs solving, %.3fs absorbing"
+     %d full, %d worklist pops, %.3fs solving, %.3fs absorbing; compaction: \
+     scheme vars %d -> %d, scheme atoms %d -> %d, %d memoized \
+     instantiations, %d empty batches skipped"
     s.vars_created s.vars_unified s.edges_added s.edges_deduped
     s.cycles_collapsed s.incr_solves s.full_solves s.worklist_pops s.solve_s
-    s.absorb_s
+    s.absorb_s s.scheme_vars_before s.scheme_vars_after s.scheme_edges_before
+    s.scheme_edges_after s.instantiations_memo_hits s.empty_batches_skipped
+
+let uid_counter = Atomic.make 0
 
 let fresh ?(name = "q") t =
   let sp = t.space in
@@ -204,6 +253,7 @@ let fresh ?(name = "q") t =
     {
       id = t.nvars;
       vname = name;
+      uid = Atomic.fetch_and_add uid_counter 1;
       parent = v;
       rank = 0;
       lo_bound = Elt.bottom sp;
@@ -224,6 +274,7 @@ let fresh ?(name = "q") t =
   v
 
 let var_id v = v.id
+let var_uid v = v.uid
 let var_name v = v.vname
 let pp_var ppf v = Fmt.pf ppf "%s#%d" v.vname v.id
 
@@ -687,6 +738,9 @@ let recording t f =
       (x, List.rev !r))
 
 type scheme = {
+  sid : int;
+      (* unique scheme identity (atomic counter, globally unique across
+         stores); instantiation-memo keys hang off it *)
   locals : var list;
   (* every variable local to the scheme: the generalized interface
      variables plus the existentially bound internals; all are renamed at
@@ -694,7 +748,12 @@ type scheme = {
   atoms : atom list;
 }
 
-let make_scheme ~locals ~atoms = { locals; atoms }
+let scheme_counter = Atomic.make 0
+
+let make_scheme ~locals ~atoms =
+  { sid = Atomic.fetch_and_add scheme_counter 1; locals; atoms }
+
+let scheme_id s = s.sid
 let scheme_locals s = s.locals
 let scheme_atoms s = s.atoms
 
@@ -716,11 +775,11 @@ let instantiate ?bind t s =
   List.iter
     (fun v ->
       match bound v with
-      | Some v' -> Hashtbl.replace map v.id v'
-      | None -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
+      | Some v' -> Hashtbl.replace map v.uid v'
+      | None -> Hashtbl.replace map v.uid (fresh ~name:v.vname t))
     s.locals;
   let rn v =
-    match Hashtbl.find_opt map v.id with
+    match Hashtbl.find_opt map v.uid with
     | Some v' -> v'
     | None -> ( match bound v with Some v' -> v' | None -> v)
   in
@@ -764,10 +823,10 @@ let absorb t ?bind (b : batch) =
   List.iter
     (fun v ->
       match bound v with
-      | Some g -> Hashtbl.replace map v.id g
-      | None -> Hashtbl.replace map v.id (fresh ~name:v.vname t))
+      | Some g -> Hashtbl.replace map v.uid g
+      | None -> Hashtbl.replace map v.uid (fresh ~name:v.vname t))
     b.b_vars;
-  let rn v = match Hashtbl.find_opt map v.id with Some v' -> v' | None -> v in
+  let rn v = match Hashtbl.find_opt map v.uid with Some v' -> v' | None -> v in
   List.iter
     (function
       | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
@@ -775,7 +834,16 @@ let absorb t ?bind (b : batch) =
       | Avv (x, y, mask, reason) -> add_leq_vv ?reason ~mask t (rn x) (rn y))
     b.b_atoms;
   t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
-  fun v -> Hashtbl.find_opt map v.id
+  fun v -> Hashtbl.find_opt map v.uid
+
+(* A batch whose absorb would be a literal no-op: no atoms to replay and
+   every variable already bound to a shared-store variable (so no fresh
+   variables would be created either). The parallel merge skips these —
+   common for leaf-function tasks that touched only pre-mirrored globals —
+   without perturbing variable-creation parity with a serial run. *)
+let batch_skippable ~bind (b : batch) =
+  b.b_atoms = []
+  && List.for_all (fun v -> Option.is_some (bind v)) b.b_vars
 
 let pp_atom sp ppf = function
   | Avc (v, c, _, _) -> Fmt.pf ppf "%a <= %a" pp_var v (Elt.pp_full sp) c
@@ -1029,9 +1097,279 @@ let simplify_scheme t ~(interface : var list) (s : scheme) : scheme =
   let locals =
     List.filter (fun v -> not (Hashtbl.mem eliminated v.id)) s.locals
   in
-  { locals; atoms = !atoms }
+  make_scheme ~locals ~atoms:!atoms
 
 let scheme_size s = List.length s.atoms
+
+(* ------------------------------------------------------------------ *)
+(* Scheme compaction (exact projection onto the interface)             *)
+(* ------------------------------------------------------------------ *)
+
+(* [compact t ~interface s] projects the scheme's constraint set onto its
+   observable variables: the [interface] list (the qualifier variables
+   reachable from the generalized qualified type) plus every free variable
+   mentioned by an atom. The result is observationally equivalent — not a
+   heuristic: instantiating the compacted scheme yields exactly the same
+   least and greatest solutions on the interface and free variables, and
+   the same bound violations, as instantiating the original.
+
+   The pass (iterated to a fixed point):
+
+   - duplicate and vacuous atoms are dropped (a self-edge [v <= v on m]
+     contributes [embed_bottom m lo(v) <= lo(v)] and dually — a no-op);
+   - a purely internal variable [v] is eliminated by composing each of its
+     lower atoms with each of its upper edges. Masked atoms compose
+     exactly: [embed_bottom m2 (embed_bottom m1 x) = embed_bottom (m1&m2) x]
+     (dually for [embed_top]), so [c <= v on mc, v <= s on ms] becomes
+     [embed_bottom mc c <= s on ms] and [p <= v on mp, v <= s on ms]
+     becomes [p <= s on mp&ms];
+   - elimination requires that dropping [v]'s own constant upper bounds
+     cannot hide a violation: [v] must have no upper-bound atoms at all,
+     or no predecessor edges and constant bounds that already satisfy
+     [join(lowers) <= meet(uppers)] (its least solution is then exactly
+     the join of its constant lower bounds, so the check is decided at
+     compaction time once and for all instances). Inconsistently bounded
+     internals are kept, preserving the error report;
+   - a growth cap keeps composition from densifying the graph: [v] is
+     eliminated only if the composed atoms do not outnumber the removed
+     ones (plus slack 2); iteration can unlock such variables later.
+
+   Unification with (or among) interface variables needs no special case:
+   full-mask cycles survive as composed edge chains, which the store
+   re-collapses at instantiation.
+
+   Determinism matters downstream (parallel workers must publish the same
+   scheme the serial run builds): the pass never consults representatives
+   ([find]) or iterates a hashtable for output; surviving atoms keep their
+   original order, composed atoms append in generation order, and the
+   local list keeps its original order filtered to interface members and
+   variables still mentioned. *)
+let compact t ~(interface : var list) (s : scheme) : scheme =
+  let sp = t.space in
+  t.s_sv_before <- t.s_sv_before + List.length s.locals;
+  t.s_se_before <- t.s_se_before + List.length s.atoms;
+  let local_uids = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace local_uids v.uid ()) s.locals;
+  let iface = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace iface v.uid ()) interface;
+  (* dedup + vacuous-drop filter; [seen] persists across passes: a key can
+     only name a removed atom if one of its endpoints was eliminated, and
+     composition never reproduces atoms on eliminated endpoints *)
+  let seen = Hashtbl.create 128 in
+  let vacuous = function
+    | Avc (_, c, m, _) -> Elt.leq_masked sp ~mask:m (Elt.top sp) c
+    | Acv (c, _, m, _) -> Elt.leq_masked sp ~mask:m c (Elt.bottom sp)
+    | Avv (x, y, m, _) -> x.uid = y.uid || m land Elt.full_mask sp = 0
+  in
+  let key = function
+    | Avc (v, c, m, _) -> (0, v.uid, -1, (c : Elt.t), m)
+    | Acv (c, v, m, _) -> (1, v.uid, -1, c, m)
+    | Avv (x, y, m, _) -> (2, x.uid, y.uid, 0, m)
+  in
+  let fresh_atom a =
+    (not (vacuous a))
+    &&
+    let k = key a in
+    if Hashtbl.mem seen k then false
+    else begin
+      Hashtbl.add seen k ();
+      true
+    end
+  in
+  let atoms = ref (List.filter fresh_atom s.atoms) in
+  let eliminated = Hashtbl.create 32 in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < 64 do
+    changed := false;
+    incr passes;
+    let lowers = Hashtbl.create 64 and uppers = Hashtbl.create 64 in
+    let add tbl uid a =
+      Hashtbl.replace tbl uid
+        (a :: (try Hashtbl.find tbl uid with Not_found -> []))
+    in
+    List.iter
+      (fun a ->
+        match a with
+        | Avc (v, _, _, _) -> add uppers v.uid a
+        | Acv (_, v, _, _) -> add lowers v.uid a
+        | Avv (x, y, _, _) ->
+            add uppers x.uid a;
+            add lowers y.uid a)
+      !atoms;
+    let kill = Hashtbl.create 16 in
+    let extra = ref [] in
+    List.iter
+      (fun v ->
+        if
+          Hashtbl.mem local_uids v.uid
+          && (not (Hashtbl.mem iface v.uid))
+          && (not (Hashtbl.mem eliminated v.uid))
+          && not (Hashtbl.mem kill v.uid)
+        then begin
+          let lo = try Hashtbl.find lowers v.uid with Not_found -> [] in
+          let up = try Hashtbl.find uppers v.uid with Not_found -> [] in
+          (* never compose against a neighbour killed this pass: the
+             pass-start index would resurrect its atoms; the next pass
+             sees the rebuilt index *)
+          let neighbour_killed =
+            List.exists
+              (fun a ->
+                match a with
+                | Avc (x, _, _, _) | Acv (_, x, _, _) -> Hashtbl.mem kill x.uid
+                | Avv (x, y, _, _) ->
+                    Hashtbl.mem kill x.uid || Hashtbl.mem kill y.uid)
+              (lo @ up)
+          in
+          if not neighbour_killed then begin
+            let acvs =
+              List.filter_map
+                (function Acv (c, _, m, r) -> Some (c, m, r) | _ -> None)
+                lo
+            in
+            let preds =
+              List.filter_map
+                (function Avv (p, _, m, r) -> Some (p, m, r) | _ -> None)
+                lo
+            in
+            let avcs =
+              List.filter_map
+                (function Avc (_, c, m, r) -> Some (c, m, r) | _ -> None)
+                up
+            in
+            let succs =
+              List.filter_map
+                (function Avv (_, s, m, r) -> Some (s, m, r) | _ -> None)
+                up
+            in
+            let eliminable =
+              match avcs with
+              | [] -> true
+              | _ :: _ ->
+                  preds = []
+                  &&
+                  let lo_const =
+                    List.fold_left
+                      (fun acc (c, m, _) ->
+                        Elt.join sp acc (Elt.embed_bottom sp ~mask:m c))
+                      (Elt.bottom sp) acvs
+                  in
+                  let hi_const =
+                    List.fold_left
+                      (fun acc (c, m, _) ->
+                        Elt.meet sp acc (Elt.embed_top sp ~mask:m c))
+                      (Elt.top sp) avcs
+                  in
+                  Elt.leq sp lo_const hi_const
+            in
+            let nlo = List.length acvs + List.length preds in
+            let nup = List.length avcs + List.length succs in
+            let ncomposed = nlo * List.length succs in
+            if eliminable && ncomposed <= nlo + nup + 2 then begin
+              Hashtbl.replace kill v.uid ();
+              Hashtbl.replace eliminated v.uid ();
+              changed := true;
+              List.iter
+                (fun (sv, ms, rs) ->
+                  List.iter
+                    (fun (c, mc, _) ->
+                      extra :=
+                        Acv (Elt.embed_bottom sp ~mask:mc c, sv, ms, rs)
+                        :: !extra)
+                    acvs;
+                  List.iter
+                    (fun (p, mp, _) ->
+                      extra := Avv (p, sv, mp land ms, rs) :: !extra)
+                    preds)
+                succs
+            end
+          end
+        end)
+      s.locals;
+    if !changed then begin
+      let touches uid = Hashtbl.mem kill uid in
+      let kept =
+        List.filter
+          (fun a ->
+            match a with
+            | Avc (v, _, _, _) | Acv (_, v, _, _) -> not (touches v.uid)
+            | Avv (x, y, _, _) -> not (touches x.uid || touches y.uid))
+          !atoms
+      in
+      atoms := kept @ List.filter fresh_atom (List.rev !extra)
+    end
+  done;
+  let mentioned = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      let mark v = Hashtbl.replace mentioned v.uid () in
+      match a with
+      | Avc (v, _, _, _) | Acv (_, v, _, _) -> mark v
+      | Avv (x, y, _, _) ->
+          mark x;
+          mark y)
+    !atoms;
+  (* interface variables stay local even when unconstrained: they occur in
+     the generalized type and must still be freshened per instance *)
+  let locals =
+    List.filter
+      (fun v -> Hashtbl.mem iface v.uid || Hashtbl.mem mentioned v.uid)
+      s.locals
+  in
+  t.s_sv_after <- t.s_sv_after + List.length locals;
+  t.s_se_after <- t.s_se_after + List.length !atoms;
+  make_scheme ~locals ~atoms:!atoms
+
+(* Can this scheme's constraints, alone, ever produce a bound violation in
+   an instance — under the most pessimistic assumption about inflow from
+   the outside? Free variables and [exposed] locals (the interface, which
+   receives call-site inflow not part of the scheme) are pinned to top;
+   least solutions propagate from there over the scheme's edges; every
+   local must still satisfy its own constant upper bounds. A [true] answer
+   licenses sharing one instantiation between call sites: the shared copy
+   cannot under-report errors, because it can produce none. *)
+let atoms_never_violate sp ~(locals : var list) ~(exposed : var list)
+    (atoms : atom list) : bool =
+  let local_uids = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace local_uids v.uid ()) locals;
+  let pinned = Hashtbl.create 32 in
+  List.iter (fun v -> Hashtbl.replace pinned v.uid ()) exposed;
+  let is_pinned v =
+    (not (Hashtbl.mem local_uids v.uid)) || Hashtbl.mem pinned v.uid
+  in
+  let bot = Elt.bottom sp and top = Elt.top sp in
+  let lo = Hashtbl.create 32 and hib = Hashtbl.create 32 in
+  let get tbl dflt uid = try Hashtbl.find tbl uid with Not_found -> dflt in
+  let lo_of v = if is_pinned v then top else get lo bot v.uid in
+  let edges = ref [] in
+  List.iter
+    (function
+      | Acv (c, v, m, _) ->
+          if not (is_pinned v) then
+            Hashtbl.replace lo v.uid
+              (Elt.join sp (get lo bot v.uid) (Elt.embed_bottom sp ~mask:m c))
+      | Avc (v, c, m, _) ->
+          if Hashtbl.mem local_uids v.uid then
+            Hashtbl.replace hib v.uid
+              (Elt.meet sp (get hib top v.uid) (Elt.embed_top sp ~mask:m c))
+      | Avv (x, y, m, _) -> edges := (x, y, m) :: !edges)
+    atoms;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (x, y, m) ->
+        if not (is_pinned y) then begin
+          let contrib = Elt.embed_bottom sp ~mask:m (lo_of x) in
+          let lo' = Elt.join sp (get lo bot y.uid) contrib in
+          if not (Elt.equal lo' (get lo bot y.uid)) then begin
+            Hashtbl.replace lo y.uid lo';
+            changed := true
+          end
+        end)
+      !edges
+  done;
+  List.for_all (fun v -> Elt.leq sp (lo_of v) (get hib top v.uid)) locals
 
 (* ------------------------------------------------------------------ *)
 (* Standalone evaluation of an atom list                               *)

@@ -60,7 +60,11 @@ val set_budget : t -> Budget.t option -> unit
 val fresh : ?name:string -> t -> var
 
 val var_id : var -> int
-(** stable creation-order id; unaffected by unification *)
+(** stable creation-order id; unaffected by unification. Unique within one
+    store only — use {!var_uid} when variables of two stores can mix. *)
+
+val var_uid : var -> int
+(** globally unique id (across stores); stable under unification *)
 
 val var_name : var -> string
 
@@ -145,6 +149,10 @@ val make_scheme : locals:var list -> atoms:atom list -> scheme
 val scheme_locals : scheme -> var list
 val scheme_atoms : scheme -> atom list
 
+val scheme_id : scheme -> int
+(** unique identity of this scheme value (globally unique, assigned at
+    {!make_scheme}); instantiation-memo keys hang off it *)
+
 val scheme_size : scheme -> int
 (** number of atoms *)
 
@@ -182,6 +190,13 @@ val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
     serially. Returns the realized renaming ([None] for batch variables
     the batch did not contain). *)
 
+val batch_skippable : bind:(var -> var option) -> batch -> bool
+(** [true] iff absorbing the batch would be a literal no-op: it carries no
+    atoms and every variable is already resolved by [bind] (so no fresh
+    variables would be created). The parallel merge skips such batches
+    (common for leaf-function tasks) without perturbing variable-creation
+    parity with a serial run. *)
+
 val simplify_scheme : t -> interface:var list -> scheme -> scheme
 (** Simplify a scheme (a basic answer to the open problem of Section 6):
     duplicate and vacuous atoms are dropped, and existentially bound
@@ -190,6 +205,32 @@ val simplify_scheme : t -> interface:var list -> scheme -> scheme
     onto [interface] and the scheme's free variables is preserved
     (property-tested). Variables carrying masked atoms are kept
     conservatively. *)
+
+val compact : t -> interface:var list -> scheme -> scheme
+(** Compact a scheme by exact projection onto its observable variables:
+    the [interface] list (qualifier variables reachable from the
+    generalized qualified type) plus every free variable. Collapses and
+    shortcuts through purely internal variables (composing masked atoms
+    exactly), drops unconstrained/unreachable internals and duplicate or
+    vacuous atoms. Observational equivalence, not a heuristic:
+    instantiating the compacted scheme produces the same least/greatest
+    solutions on interface and free variables and the same bound
+    violations as the original. Internals whose constant bounds are
+    inconsistent are kept, preserving error reports. Deterministic:
+    output order depends only on the input scheme, never on store state.
+    Accumulates the [scheme_vars_*]/[scheme_edges_*] counters of
+    {!stats}. *)
+
+val atoms_never_violate :
+  Space.t -> locals:var list -> exposed:var list -> atom list -> bool
+(** [true] iff the atom list alone can never produce a bound violation in
+    an instance, under the most pessimistic assumption about external
+    inflow: free variables and [exposed] locals (interface variables,
+    which receive call-site constraints not part of the scheme) are pinned
+    to top, least solutions propagate over the scheme's edges, and every
+    local must still satisfy its constant upper bounds. Licenses sharing
+    one instantiation between call sites (the memoized copy can never
+    under-report errors, because it can produce none). *)
 
 val pp_atom : Space.t -> atom Fmt.t
 
@@ -225,10 +266,30 @@ type stats = {
   worklist_pops : int;  (** total propagation steps across all solves *)
   solve_s : float;  (** wall seconds inside {!solve}/{!solve_from_scratch} *)
   absorb_s : float;  (** wall seconds inside {!absorb} *)
+  scheme_vars_before : int;
+      (** scheme locals entering {!compact}, summed over all compactions *)
+  scheme_vars_after : int;  (** scheme locals surviving {!compact} *)
+  scheme_edges_before : int;  (** constraint atoms entering {!compact} *)
+  scheme_edges_after : int;  (** constraint atoms surviving {!compact} *)
+  instantiations_memo_hits : int;
+      (** instantiations served from the per-scope memo table *)
+  empty_batches_skipped : int;
+      (** worker batches whose absorb was skipped as a no-op *)
 }
 
 val stats : t -> stats
 val pp_stats : stats Fmt.t
+
+val note_memo_hit : t -> unit
+(** count one memoized instantiation (the memo table lives in the client) *)
+
+val note_skipped_batch : t -> unit
+(** count one skipped empty batch *)
+
+val merge_aux_stats : t -> stats -> unit
+(** fold the compaction/memo counters of a worker store's stats into this
+    store, so parallel runs report totals; the structural counters (vars,
+    edges, solve times) are not touched — they flow through {!absorb} *)
 
 val pp_scheme : Space.t -> scheme Fmt.t
 (** render a constrained scheme (Section 6's presentation concern);

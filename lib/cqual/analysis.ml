@@ -186,6 +186,21 @@ type env = {
           table above are private to one domain, and shared state is
           reached read-only through the context *)
   mutable par : par_stats option;  (** set on the shared env by parallel runs *)
+  compact : bool;
+      (** scheme compaction at generalization and instantiation
+          memoization (default on); [false] restores the uncompacted
+          behaviour — reports are identical either way, only the
+          constraint-system size differs *)
+  shapes : Shape.table;  (** hash-consed r-type skeletons, per store *)
+  imemo : (int * string * (int * int list) list, fsig) Hashtbl.t;
+      (** instantiation memo: (scheme id, callee, per-argument
+          (shape id, qualifier-variable uids)) -> the shared instance.
+          Valid only within one recording session — every session
+          boundary resets it, so a memo hit always names an instance
+          whose atoms were captured into the current recording. *)
+  memo_ok : (int * string, bool) Hashtbl.t;
+      (** cached sharing eligibility per (scheme id, callee): flat return
+          type and {!Solver.atoms_never_violate} *)
 }
 
 (** A worker's window onto the shared analysis: the read-only global env
@@ -476,13 +491,12 @@ let import_fentry env pc (pe : pentry) : fentry =
   in
   FPoly (sch, pe.p_fsig)
 
-(* instantiate a defined function for one occurrence *)
-let rec fun_occurrence env name : fsig option =
+(* resolve a function name to its cached entry, importing shared-store
+   interfaces (mono) or published summaries (poly modes) into the
+   worker's own terms on first sight *)
+let rec fentry_of env name : fentry option =
   match Hashtbl.find_opt env.funs name with
-  | Some (FMono s) -> Some s
-  | Some (FPoly (sch, s)) ->
-      let rn = Solver.instantiate env.store sch in
-      Some (copy_fsig rn s)
+  | Some e -> Some e
   | None -> (
       match env.pc with
       | None -> None
@@ -493,7 +507,7 @@ let rec fun_occurrence env name : fsig option =
                  the serial first pass); mirror once and cache *)
               let s' = mirror_fsig env pc s in
               Hashtbl.replace env.funs name (FMono s');
-              Some s'
+              Some (FMono s')
           | Some (FPoly _) | None -> (
               (* poly modes: summaries are published by completed SCC
                  workers; a missing entry means the callee's SCC degraded
@@ -505,8 +519,84 @@ let rec fun_occurrence env name : fsig option =
               match pe with
               | Some pe ->
                   Hashtbl.replace env.funs name (import_fentry env pc pe);
-                  fun_occurrence env name
+                  fentry_of env name
               | None -> None)))
+
+(* instantiate a defined function for one occurrence *)
+let fun_occurrence env name : fsig option =
+  match fentry_of env name with
+  | Some (FMono s) -> Some s
+  | Some (FPoly (sch, s)) ->
+      let rn = Solver.instantiate env.store sch in
+      Some (copy_fsig rn s)
+  | None -> None
+
+(* May one instantiation of [sch] be shared between call sites of the same
+   recording session? Requires (a) a flat return type, so using the result
+   emits no structural constraints, and (b) atoms that can never produce a
+   bound violation on their own, so dropping a would-be second copy cannot
+   drop an error. The pessimistically-pinned set is exactly the instance
+   variables a call site flows into: each parameter's pointed-to contents
+   (the [sub r p.contents] in {!call}) and the result. A parameter's own
+   top-level qualifier receives no call-site inflow, so it keeps its
+   scheme-internal bounds — pinning it too would reject every function
+   that increments a pointer parameter. Cached per (scheme, callee). *)
+let memo_eligible env sch (s : fsig) name =
+  let key = (Solver.scheme_id sch, name) in
+  match Hashtbl.find_opt env.memo_ok key with
+  | Some b -> b
+  | None ->
+      let inflow =
+        rt_qvars s.fs_ret
+        @ List.concat_map (fun (p : cell) -> rt_qvars p.contents) s.fs_params
+      in
+      let b =
+        Shape.flat (Shape.of_rt env.shapes s.fs_ret)
+        && Solver.atoms_never_violate
+             (Solver.space env.store)
+             ~locals:(Solver.scheme_locals sch)
+             ~exposed:inflow
+             (Solver.scheme_atoms sch)
+      in
+      Hashtbl.replace env.memo_ok key b;
+      b
+
+(* Instantiate a defined function for one CALL occurrence. Two calls of an
+   eligible polymorphic callee whose arguments have identical skeletons
+   and qualifier variables emit literally identical argument-flow atoms
+   against either instance, and the flat result is consumed without
+   constraints — so the second call re-uses the first call's instance
+   instead of re-emitting the scheme. Observationally invisible:
+   solutions of named program variables and the violation set are
+   unchanged (the skipped copy's atoms never violate, and its fresh
+   variables are unobservable). *)
+let fun_call_occurrence env name (arg_rts : rt list) : fsig option =
+  match fentry_of env name with
+  | Some (FMono s) -> Some s
+  | Some (FPoly (sch, s)) ->
+      if env.compact && memo_eligible env sch s name then begin
+        let arg_key =
+          List.map
+            (fun r ->
+              ( Shape.id (Shape.of_rt env.shapes r),
+                List.map Solver.var_uid (rt_qvars r) ))
+            arg_rts
+        in
+        let key = (Solver.scheme_id sch, name, arg_key) in
+        match Hashtbl.find_opt env.imemo key with
+        | Some inst ->
+            Solver.note_memo_hit env.store;
+            Some inst
+        | None ->
+            let rn = Solver.instantiate env.store sch in
+            let inst = copy_fsig rn s in
+            Hashtbl.replace env.imemo key inst;
+            Some inst
+      end
+      else
+        let rn = Solver.instantiate env.store sch in
+        Some (copy_fsig rn s)
+  | None -> None
 
 let rec lvalue env scope (e : Cast.expr) : cell =
   match e with
@@ -658,7 +748,7 @@ and call env scope callee args : rt =
   in
   match callee with
   | EVar fname -> (
-      match fun_occurrence env fname with
+      match fun_call_occurrence env fname arg_rts with
       | Some s -> link_sig s
       | None -> (
           match lib_sig env fname with
@@ -788,8 +878,8 @@ let analyze_body env (f : Cast.fundef) (iface : fsig) =
 (* Whole-program drivers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_env ?(rules = const_rules) ?(field_sharing = true) ?budget mode
-    (prog : Cprog.t) : env =
+let make_env ?(rules = const_rules) ?(field_sharing = true) ?(compact = true)
+    ?budget mode (prog : Cprog.t) : env =
   let store = Solver.create rules.qr_space in
   Solver.set_budget store budget;
   {
@@ -807,6 +897,10 @@ let make_env ?(rules = const_rules) ?(field_sharing = true) ?budget mode
     budget;
     pc = None;
     par = None;
+    compact;
+    shapes = Shape.create_table ();
+    imemo = Hashtbl.create 64;
+    memo_ok = Hashtbl.create 16;
   }
 
 (* Global variables and struct tables are part of the monomorphic
@@ -837,6 +931,10 @@ let build_global_env env =
     env.prog.Cprog.comps
 
 let analyze_global_inits env =
+  (* initializer calls instantiate outside any recording: a fresh memo
+     session (instances memoized during the last SCC are not shareable
+     here — their atoms belong to that SCC's scheme, not the store) *)
+  Hashtbl.reset env.imemo;
   let scope = { locals = []; ret = RBase } in
   List.iter
     (fun (d : Cast.decl) ->
@@ -853,9 +951,9 @@ let analyze_global_inits env =
     (Cprog.global_vars env.prog)
 
 (** Monomorphic const inference (the "Mono" column of Table 2). *)
-let run_mono ?rules ?field_sharing ?budget (prog : Cprog.t) :
+let run_mono ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
     env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing ?budget Mono prog in
+  let env = make_env ?rules ?field_sharing ?compact ?budget Mono prog in
   build_global_env env;
   let funs = Cprog.functions prog in
   (* pass 1: interfaces, so calls in any order link directly; a function
@@ -945,6 +1043,9 @@ let serial_is_global env ~global_watermark v =
    failure — fault isolation is the caller's job. *)
 let poly_scc env ~is_global ~simplify members :
     (Cast.fundef * fsig) list * Solver.scheme =
+  (* one memo session per recording: hits must name instances captured
+     into THIS scheme *)
+  Hashtbl.reset env.imemo;
   let scc_ifaces, atoms =
     Solver.recording env.store (fun () ->
         let is =
@@ -959,13 +1060,14 @@ let poly_scc env ~is_global ~simplify members :
         is)
   in
   let sch = generalize_scc ~is_global atoms scc_ifaces in
+  let interface =
+    List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces
+  in
   let sch =
-    if simplify then
-      Solver.simplify_scheme env.store
-        ~interface:
-          (List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces)
-        sch
-    else sch
+    if simplify then Solver.simplify_scheme env.store ~interface sch else sch
+  in
+  let sch =
+    if env.compact then Solver.compact env.store ~interface sch else sch
   in
   List.iter
     (fun ((f : Cast.fundef), s) ->
@@ -976,9 +1078,9 @@ let poly_scc env ~is_global ~simplify members :
 (** Polymorphic const inference (Section 4.3, the "Poly" column): SCCs of
     the FDG processed callees-first; each SCC's constraints are captured
     and generalized into one scheme shared by its members. *)
-let run_poly ?rules ?field_sharing ?(simplify = false) ?budget
+let run_poly ?rules ?field_sharing ?(simplify = false) ?compact ?budget
     (prog : Cprog.t) : env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing ?budget Poly prog in
+  let env = make_env ?rules ?field_sharing ?compact ?budget Poly prog in
   build_global_env env;
   (* variables created so far (globals, struct fields) are monomorphic *)
   let global_watermark = Solver.num_vars env.store in
@@ -1040,6 +1142,9 @@ let polyrec_scc env ~is_global prog scc members :
     | _ -> true
   in
   let process_round () =
+    (* memo sessions never span rounds: a later round's scheme must
+       capture its own copies of every instance *)
+    Hashtbl.reset env.imemo;
     Solver.recording env.store (fun () ->
         let is =
           List.map
@@ -1051,11 +1156,16 @@ let polyrec_scc env ~is_global prog scc members :
   in
   let finish scc_ifaces atoms =
     let sch = generalize_scc ~is_global atoms scc_ifaces in
+    let interface =
+      List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces
+    in
+    (* both reduce the scheme to its interface-reachable core and are
+       exact on interface solutions; compact additionally dedupes and
+       collapses cycles, so when it is on running both would be wasted
+       work (measured: they reach the same size) *)
     let sch =
-      Solver.simplify_scheme env.store
-        ~interface:
-          (List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces)
-        sch
+      if env.compact then Solver.compact env.store ~interface sch
+      else Solver.simplify_scheme env.store ~interface sch
     in
     List.iter
       (fun ((f : Cast.fundef), s) ->
@@ -1067,6 +1177,7 @@ let polyrec_scc env ~is_global prog scc members :
     (* non-recursive: identical to plain per-SCC polymorphism, but members
        must be callable monomorphically while their own bodies are
        analyzed *)
+    Hashtbl.reset env.imemo;
     let scc_ifaces, atoms =
       Solver.recording env.store (fun () ->
           let is =
@@ -1109,9 +1220,9 @@ let polyrec_scc env ~is_global prog scc members :
     iterate [] 1
   end
 
-let run_polyrec ?rules ?field_sharing ?budget (prog : Cprog.t) :
+let run_polyrec ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
     env * (string * fsig) list =
-  let env = make_env ?rules ?field_sharing ?budget Polyrec prog in
+  let env = make_env ?rules ?field_sharing ?compact ?budget Polyrec prog in
   build_global_env env;
   let global_watermark = Solver.num_vars env.store in
   let is_global = serial_is_global env ~global_watermark in
@@ -1178,6 +1289,10 @@ let worker_env (genv : env) (pub : pub) : env =
           pc_pub = pub;
         };
     par = None;
+    compact = genv.compact;
+    shapes = Shape.create_table ();
+    imemo = Hashtbl.create 32;
+    memo_ok = Hashtbl.create 16;
   }
 
 let worker_pc env =
@@ -1193,6 +1308,7 @@ type task_result = {
   tr_outcomes : (string * outcome) list;
   tr_ifaces : (Cast.fundef * fsig) list;  (* [] when degraded / mono *)
   tr_scheme : Solver.scheme option;  (* None in mono mode / when degraded *)
+  tr_aux : Solver.stats;  (* worker-store counters (compaction, memo) *)
 }
 
 let task_result wenv ~ifaces ~scheme : task_result =
@@ -1205,6 +1321,7 @@ let task_result wenv ~ifaces ~scheme : task_result =
     tr_outcomes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) wenv.outcomes [];
     tr_ifaces = ifaces;
     tr_scheme = scheme;
+    tr_aux = Solver.stats wenv.store;
   }
 
 (* Merge one worker's result into the shared env, in deterministic task
@@ -1214,6 +1331,7 @@ let task_result wenv ~ifaces ~scheme : task_result =
    and translate interfaces and scheme into shared-store terms. Returns
    the interface entries to report. *)
 let merge_result genv (r : task_result) : (string * fsig) list =
+  Solver.merge_aux_stats genv.store r.tr_aux;
   let bind v =
     match Hashtbl.find_opt r.tr_bind (Solver.var_id v) with
     | Some (Gvar g) -> Some g
@@ -1222,6 +1340,21 @@ let merge_result genv (r : task_result) : (string * fsig) list =
         Option.map (fun (c : cell) -> c.q) (Hashtbl.find_opt genv.globals name)
     | None -> None
   in
+  let skippable =
+    (match r.tr_scheme with None -> true | Some _ -> false)
+    && r.tr_ifaces = [] && r.tr_autos = []
+    && Solver.batch_skippable ~bind r.tr_batch
+  in
+  if skippable then begin
+    (* the absorb would create no variable and add no atom: skip it, keep
+       only the side reports (common for leaf functions whose body
+       touches nothing beyond its mirrored interface) *)
+    Solver.note_skipped_batch genv.store;
+    List.iter (fun (n, o) -> Hashtbl.replace genv.outcomes n o) r.tr_outcomes;
+    genv.warnings <- r.tr_warnings @ genv.warnings;
+    []
+  end
+  else begin
   let rn = Solver.absorb genv.store ~bind r.tr_batch in
   let rnv v = match rn v with Some v' -> v' | None -> v in
   List.iter
@@ -1256,6 +1389,7 @@ let merge_result genv (r : task_result) : (string * fsig) list =
           Hashtbl.replace genv.funs f.f_name (FPoly (sch_g, s_g));
           (f.f_name, s_g))
         r.tr_ifaces
+  end
 
 (* Wavefront scheduling of the SCC DAG: an SCC is ready once all its
    callees' SCCs have completed and published their summaries; ready SCCs
@@ -1263,14 +1397,14 @@ let merge_result genv (r : task_result) : (string * fsig) list =
    Batches are merged serially in SCC index order — the serial traversal
    order — so the shared store, and hence every reported figure, is
    identical to a serial run's. *)
-let run_sccs_par ~jobs ?rules ?field_sharing ?budget mode
+let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget mode
     ~(process :
        env ->
        scc:string list ->
        members:Cast.fundef list ->
        (Cast.fundef * fsig) list * Solver.scheme) (prog : Cprog.t) :
     env * (string * fsig) list =
-  let genv = make_env ?rules ?field_sharing ?budget mode prog in
+  let genv = make_env ?rules ?field_sharing ?compact ?budget mode prog in
   build_global_env genv;
   let t0 = Unix.gettimeofday () in
   let fdg = Fdg.build prog in
@@ -1365,9 +1499,9 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?budget mode
    (pass 1, unchanged), then bodies fan out one task per function; every
    body generates into a private store against mirrored interfaces, and
    the batches merge back in function order. *)
-let run_mono_par ~jobs ?rules ?field_sharing ?budget (prog : Cprog.t) :
+let run_mono_par ~jobs ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
     env * (string * fsig) list =
-  let genv = make_env ?rules ?field_sharing ?budget Mono prog in
+  let genv = make_env ?rules ?field_sharing ?compact ?budget Mono prog in
   build_global_env genv;
   let funs = Cprog.functions prog in
   let ifaces =
@@ -1428,16 +1562,16 @@ let run_mono_par ~jobs ?rules ?field_sharing ?budget (prog : Cprog.t) :
       };
   (genv, ifaces)
 
-let run_poly_par ~jobs ?rules ?field_sharing ?(simplify = false) ?budget prog
-    =
-  run_sccs_par ~jobs ?rules ?field_sharing ?budget Poly prog
+let run_poly_par ~jobs ?rules ?field_sharing ?(simplify = false) ?compact
+    ?budget prog =
+  run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget Poly prog
     ~process:(fun wenv ~scc:_ ~members ->
       let pc = worker_pc wenv in
       let is_global v = Hashtbl.mem pc.pc_bind (Solver.var_id v) in
       poly_scc wenv ~is_global ~simplify members)
 
-let run_polyrec_par ~jobs ?rules ?field_sharing ?budget prog =
-  run_sccs_par ~jobs ?rules ?field_sharing ?budget Polyrec prog
+let run_polyrec_par ~jobs ?rules ?field_sharing ?compact ?budget prog =
+  run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget Polyrec prog
     ~process:(fun wenv ~scc ~members ->
       let pc = worker_pc wenv in
       let is_global v = Hashtbl.mem pc.pc_bind (Solver.var_id v) in
@@ -1447,17 +1581,21 @@ let run_polyrec_par ~jobs ?rules ?field_sharing ?budget prog =
     the FDG for the polymorphic modes, per-function map-reduce for mono);
     results are deterministic and identical to [jobs = 1], which takes the
     plain serial path. *)
-let run ?rules ?field_sharing ?simplify ?budget ?(jobs = 1) mode prog =
+let run ?rules ?field_sharing ?simplify ?compact ?budget ?(jobs = 1) mode
+    prog =
   if jobs > 1 then
     match mode with
-    | Mono -> run_mono_par ~jobs ?rules ?field_sharing ?budget prog
-    | Poly -> run_poly_par ~jobs ?rules ?field_sharing ?simplify ?budget prog
-    | Polyrec -> run_polyrec_par ~jobs ?rules ?field_sharing ?budget prog
+    | Mono -> run_mono_par ~jobs ?rules ?field_sharing ?compact ?budget prog
+    | Poly ->
+        run_poly_par ~jobs ?rules ?field_sharing ?simplify ?compact ?budget
+          prog
+    | Polyrec ->
+        run_polyrec_par ~jobs ?rules ?field_sharing ?compact ?budget prog
   else
     match mode with
-    | Mono -> run_mono ?rules ?field_sharing ?budget prog
-    | Poly -> run_poly ?rules ?field_sharing ?simplify ?budget prog
-    | Polyrec -> run_polyrec ?rules ?field_sharing ?budget prog
+    | Mono -> run_mono ?rules ?field_sharing ?compact ?budget prog
+    | Poly -> run_poly ?rules ?field_sharing ?simplify ?compact ?budget prog
+    | Polyrec -> run_polyrec ?rules ?field_sharing ?compact ?budget prog
 
 (** Solver statistics accumulated by the analysis (see {!Solver.stats}). *)
 let stats (env : env) = Solver.stats env.store

@@ -39,10 +39,12 @@ let compile src =
   | Error m -> raise (Error m)
   | Ok p -> Cfront.Cprog.build p
 
-let analyze ?rules ?field_sharing ?simplify ?budget ?jobs mode prog =
+let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs mode prog
+    =
   let (env, ifaces), t =
     time (fun () ->
-        Analysis.run ?rules ?field_sharing ?simplify ?budget ?jobs mode prog)
+        Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+          mode prog)
   in
   let results, t2 = time (fun () -> Report.measure env ifaces) in
   (env, results, t +. t2)
@@ -53,14 +55,14 @@ let analyze ?rules ?field_sharing ?simplify ?budget ?jobs mode prog =
     Raises only for faults that leave nothing to analyze (e.g.
     [Cfront.Cprog.Frontend_error] from table construction). *)
 let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    ?budget ?jobs ?max_errors (src : string) : run =
+    ?compact ?budget ?jobs ?max_errors (src : string) : run =
   let (pr, prog), t_compile =
     time (fun () ->
         let pr = Cfront.Cparse.parse_program_partial ?max_errors src in
         (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
   in
   let env, results, t_analysis =
-    analyze ?rules ?field_sharing ?simplify ?budget ?jobs mode prog
+    analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs mode prog
   in
   let fdg = Fdg.build prog in
   let results =

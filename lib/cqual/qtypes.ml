@@ -223,3 +223,77 @@ let rec pp_rt ppf = function
         f.fs_params pp_rt f.fs_ret
 
 and pp_cell ppf c = Fmt.pf ppf "%a ref(%a)" Solver.pp_var c.q pp_rt c.contents
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed shapes                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The qualifier-less skeleton of an r-type, hash-consed per analysis
+    environment: structurally equal r-types (including their cell-sharing
+    pattern, but independent of which qualifier variables they carry) map
+    to the same small integer. A shape id plus the DFS sequence of
+    qualifier variables (the {!rt_qvars} order — cell numbering below
+    visits in the same order) fully determines every constraint a
+    structural [sub] against the r-type emits, which is what makes shapes
+    usable as instantiation-memo keys. *)
+module Shape = struct
+  type t = {
+    sh_id : int;
+    sh_flat : bool;
+        (* no RPtr/RFun anywhere: a structural [sub] against a flat
+           r-type emits no constraints at all *)
+  }
+
+  type table = { tbl : (string, t) Hashtbl.t; mutable next : int }
+
+  let create_table () = { tbl = Hashtbl.create 64; next = 0 }
+  let id s = s.sh_id
+  let flat s = s.sh_flat
+
+  (* canonical structural key: cells are numbered by first visit and
+     back-references rendered as [@k], so aliasing patterns distinguish
+     shapes while the variables themselves do not *)
+  let of_rt table (r : rt) : t =
+    let buf = Buffer.create 32 in
+    let seen = Hashtbl.create 8 in
+    let count = ref 0 in
+    let flat = ref true in
+    let rec go_rt = function
+      | RBase -> Buffer.add_char buf 'b'
+      | RVoid -> Buffer.add_char buf 'v'
+      | RStruct tag ->
+          Buffer.add_char buf 's';
+          Buffer.add_string buf tag;
+          Buffer.add_char buf ';'
+      | RPtr c ->
+          flat := false;
+          Buffer.add_char buf 'p';
+          go_cell c
+      | RFun f ->
+          flat := false;
+          Buffer.add_char buf (if f.fs_varargs then 'F' else 'f');
+          Buffer.add_char buf '(';
+          List.iter go_cell f.fs_params;
+          Buffer.add_char buf ')';
+          go_rt f.fs_ret
+    and go_cell c =
+      match Hashtbl.find_opt seen (Solver.var_uid c.q) with
+      | Some k ->
+          Buffer.add_char buf '@';
+          Buffer.add_string buf (string_of_int k)
+      | None ->
+          Hashtbl.add seen (Solver.var_uid c.q) !count;
+          incr count;
+          Buffer.add_char buf 'c';
+          go_rt c.contents
+    in
+    go_rt r;
+    let key = Buffer.contents buf in
+    match Hashtbl.find_opt table.tbl key with
+    | Some s -> s
+    | None ->
+        let s = { sh_id = table.next; sh_flat = !flat } in
+        table.next <- table.next + 1;
+        Hashtbl.add table.tbl key s;
+        s
+end

@@ -137,6 +137,9 @@ type state = {
   store : Solver.t;
   hooks : hooks;
   poly : bool;
+  compact : bool;
+      (** compact schemes at (Letv) generalization; observationally
+          invisible (default on) *)
   subf : ?reason:string -> Solver.t -> Qtype.t -> Qtype.t -> unit;
       (** subtype decomposition: {!Qtype.sub} normally, or the deliberately
           unsound covariant-ref variant for the ablation study *)
@@ -222,6 +225,11 @@ let rec infer_expr st (env : env) (e : Ast.expr) : Qtype.t =
             candidates
         in
         let sch = Solver.make_scheme ~locals ~atoms in
+        let sch =
+          if st.compact then
+            Solver.compact st.store ~interface:(Qtype.qvars t1) sch
+          else sch
+        in
         infer_expr st ((x, Poly { sch; body = t1 }) :: env) e2
       end
       else
@@ -282,13 +290,13 @@ type result = {
 }
 
 let infer ?(hooks = no_hooks) ?(poly = false) ?(unsound_ref = false)
-    ?(env = []) space e =
+    ?(compact = true) ?(env = []) space e =
   let store = Solver.create space in
   let subf ?reason store' t1 t2 =
     if unsound_ref then Qtype.sub_unsound_ref ?reason store' t1 t2
     else Qtype.sub ?reason store' t1 t2
   in
-  let st = { store; hooks; poly; subf } in
+  let st = { store; hooks; poly; compact; subf } in
   match infer_expr st env e with
   | qtyp ->
       let errors = match Solver.solve store with Ok () -> [] | Error es -> es in
@@ -299,15 +307,15 @@ let infer ?(hooks = no_hooks) ?(poly = false) ?(unsound_ref = false)
 
 (** [check] — the program typechecks iff inference succeeds and its
     constraints are satisfiable. *)
-let check ?hooks ?poly ?unsound_ref ?env space e =
-  match infer ?hooks ?poly ?unsound_ref ?env space e with
+let check ?hooks ?poly ?unsound_ref ?compact ?env space e =
+  match infer ?hooks ?poly ?unsound_ref ?compact ?env space e with
   | Error msg -> Error [ msg ]
   | Ok r ->
       if r.errors = [] then Ok r
       else Error (List.map Solver.error_message r.errors)
 
-let typechecks ?hooks ?poly ?unsound_ref ?env space e =
-  match check ?hooks ?poly ?unsound_ref ?env space e with
+let typechecks ?hooks ?poly ?unsound_ref ?compact ?env space e =
+  match check ?hooks ?poly ?unsound_ref ?compact ?env space e with
   | Ok _ -> true
   | Error _ -> false
 

@@ -8,6 +8,7 @@ let () =
       ("resilience", Test_resilience.tests);
       ("cqual", Test_cqual.tests);
       ("parallel", Test_parallel.tests);
+      ("compact", Test_compact.tests);
       ("eval", Test_eval.tests);
       ("flow", Test_flow.tests);
       ("properties", Test_props.tests);
