@@ -3,7 +3,7 @@
    scaling/overhead claims of the text and the ablations of DESIGN.md.
 
    Sections (run all by default, or select: table1 table2 figure6 scaling
-   ablation solver extensions micro):
+   parallel compaction lattice ablation solver extensions micro):
 
      table1  — the benchmark suite (paper Table 1)
      table2  — compile/mono/poly times (avg of 5, like the paper) and
@@ -17,6 +17,10 @@
      compaction — scheme compaction + instantiation memoization on vs
                off (poly/polyrec, serial and --jobs 4) on a 32-kloc
                chain-heavy workload; writes BENCH_compaction.json
+     lattice — const analysis in the default two-point space vs the same
+               rules hosted next to an unconstrained three-level chain
+               (user-defined lattice), jobs 1 and 4; asserts identical
+               verdicts and writes BENCH_lattice.json
      ablation— (a) unsound covariant ref vs (SubRef); (b) struct field
                sharing off; (c) worklist vs naive solver
      solver  — online cycle elimination + incremental re-solve vs the
@@ -905,6 +909,93 @@ let compaction () =
   Fmt.pr "@.wrote BENCH_compaction.json@."
 
 (* ------------------------------------------------------------------ *)
+(* User-defined lattices: a wider space must not slow the default path *)
+(* ------------------------------------------------------------------ *)
+
+let lattice () =
+  Fmt.pr
+    "@.=== User-defined lattices: two-point vs three-level space ===@.";
+  let lines = 32000 in
+  let src = Cbench.Gen.generate ~seed:(1000 + lines) ~target_lines:lines () in
+  let prog = Driver.compile src in
+  let module Q = Typequal.Qualifier in
+  let wide_rules =
+    Analysis.const_rules_in
+      (Typequal.Lattice.Space.create
+         [ Q.const; Q.ordered "trust" (Q.Order.chain_exn [ "low"; "mid"; "high" ]) ])
+  in
+  Fmt.pr
+    "workload: %d lines; const analysis in the default 1-bit space vs the \
+     same rules@."
+    lines;
+  Fmt.pr
+    "hosted next to an unconstrained 3-level chain (2 extra bits per \
+     element)@.";
+  Fmt.pr "(timings are the best of 3 runs per cell)@.@.";
+  Fmt.pr "%-12s %5s %12s %10s %9s %7s@." "space" "jobs" "analyze(s)"
+    "overhead" "possible" "errors";
+  let jrows = ref [] in
+  let base = Hashtbl.create 4 in
+  let counts = ref None in
+  let ok = ref true in
+  List.iter
+    (fun (sname, rules) ->
+      List.iter
+        (fun jobs ->
+          let analyze_s =
+            time_best 3 (fun () ->
+                let env, ifaces = Analysis.run ~rules ~jobs Analysis.Mono prog in
+                Report.measure env ifaces)
+          in
+          let env, ifaces = Analysis.run ~rules ~jobs Analysis.Mono prog in
+          let r = Report.measure env ifaces in
+          if sname = "two_point" then Hashtbl.replace base jobs analyze_s;
+          let overhead =
+            analyze_s /. (try Hashtbl.find base jobs with Not_found -> nan)
+          in
+          (* the verdicts must not depend on the hosting space or on jobs *)
+          let c = (r.Report.total, r.Report.possible, r.Report.type_errors) in
+          (match !counts with
+          | None -> counts := Some c
+          | Some c0 -> if c <> c0 then ok := false);
+          Fmt.pr "%-12s %5d %12.3f %9.2fx %9d %7d@." sname jobs analyze_s
+            overhead r.Report.possible r.Report.type_errors;
+          jrows :=
+            Jobj
+              [
+                ("space", Jstr sname);
+                ("jobs", ji jobs);
+                ("analyze_s", jf analyze_s);
+                ("overhead_vs_two_point", jf overhead);
+                ("possible", ji r.Report.possible);
+                ("type_errors", ji r.Report.type_errors);
+                ("solver", jstats (Analysis.stats env));
+              ]
+            :: !jrows)
+        [ 1; 4 ])
+    [ ("two_point", Analysis.const_rules); ("three_level", wide_rules) ];
+  if not !ok then
+    failwith "lattice bench: verdicts differ across spaces or job counts";
+  Fmt.pr "@.(verdicts identical across both spaces and both job counts — \
+          asserted)@.";
+  record_section "lattice" (Jlist (List.rev !jrows));
+  let buf = Buffer.create 2048 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("timing", Jstr "best_of_3");
+         ("workload_lines", ji lines);
+         ("counts_identical", jb !ok);
+         ("runs", Jlist (List.rev !jrows));
+       ]);
+  let oc = open_out "BENCH_lattice.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_lattice.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's evaluation                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -951,6 +1042,7 @@ let () =
   if want "scaling" then scaling ();
   if want "parallel" then parallel ();
   if want "compaction" then compaction ();
+  if want "lattice" then lattice ();
   if want "ablation" then ablation ();
   if want "ablation" || want "micro" || want "solver" then solver_ablation ();
   if want "extensions" then extensions ();

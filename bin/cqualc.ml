@@ -160,8 +160,43 @@ let run_flow name src insensitive =
         1
       end
 
+(* --lattice FILE: build the analysis rules from a user-defined lattice
+   config (CQual-style; see the README for the format). The measured
+   qualifier defaults to the first one declared; --qual overrides. *)
+let rules_of_lattice_file path qual_override =
+  let src = read_file path in
+  match Typequal.Qualifier.Config.parse src with
+  | Error m ->
+      Fmt.epr "%s: %s@." path m;
+      exit 2
+  | Ok quals -> (
+      let sp =
+        try Typequal.Lattice.Space.create quals
+        with Typequal.Lattice.Space_error e ->
+          Fmt.epr "%s: %a@." path Typequal.Lattice.pp_space_error e;
+          exit 2
+      in
+      let qual =
+        match qual_override with
+        | Some q -> q
+        | None -> Typequal.Qualifier.name (List.hd quals)
+      in
+      try Analysis.lattice_rules sp ~qual
+      with Invalid_argument m ->
+        Fmt.epr "%s@." m;
+        exit 2)
+
 let main file bench mode positions taint flow insensitive stats budget jobs
-    max_errors no_compact =
+    max_errors no_compact lattice qual dump_lattice =
+  let rules =
+    match lattice with
+    | Some path -> rules_of_lattice_file path qual
+    | None -> if taint then Analysis.taint_rules else Analysis.const_rules
+  in
+  if dump_lattice then begin
+    Fmt.pr "%a" Typequal.Lattice.Space.pp_dump rules.Analysis.qr_space;
+    exit 0
+  end;
   let name, src =
     match (file, bench) with
     | Some f, _ -> (f, read_file f)
@@ -191,7 +226,6 @@ let main file bench mode positions taint flow insensitive stats budget jobs
   in
   if flow then run_flow name src insensitive
   else
-    let rules = if taint then Analysis.taint_rules else Analysis.const_rules in
     let run_one =
       run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors
         ~compact:(not no_compact)
@@ -332,13 +366,42 @@ let no_compact =
            (the ablation baseline). Reports are identical either way; \
            only constraint-system size and speed differ.")
 
+let lattice =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lattice" ] ~docv:"FILE"
+        ~doc:
+          "Load a user-defined qualifier lattice from a CQual-style config \
+           file and analyze with its generic declaration rules ($(b,\\$level) \
+           on a declaration pins that pointer level; see the README for the \
+           file format). The measured qualifier defaults to the first one \
+           declared; override with $(b,--qual).")
+
+let qual =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "qual" ] ~docv:"NAME"
+        ~doc:"With $(b,--lattice): the qualifier whose verdicts the report \
+              counts")
+
+let dump_lattice =
+  Arg.(
+    value & flag
+    & info [ "dump-lattice" ]
+        ~doc:
+          "Print the active qualifier space (qualifiers, levels, order, bit \
+           layout) and exit — for debugging custom lattice files")
+
 let cmd =
   let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
   Cmd.v
     (Cmd.info "cqualc" ~doc)
     Term.(
       const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
-      $ stats $ budget $ jobs $ max_errors $ no_compact)
+      $ stats $ budget $ jobs $ max_errors $ no_compact $ lattice $ qual
+      $ dump_lattice)
 
 (* Last line of defense: whatever leaks out of the pipeline becomes a
    one-line message and exit 2 — users should never see a backtrace.

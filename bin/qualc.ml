@@ -27,7 +27,31 @@ let space_of = function
   | SFig2 -> (Rules.fig2_space, Rules.fig2_hooks)
   | STaint -> (Rules.taint_space, Rules.taint_hooks)
 
-let main expr file poly run_it spacekind stats no_compact =
+(* --lattice FILE: a user-defined qualifier space. Only the framework
+   rules apply (annotations/assertions resolving qualifier and level names
+   against the space); predefined spaces keep their per-qualifier hooks. *)
+let space_of_lattice_file path =
+  let src = read_file path in
+  match Typequal.Qualifier.Config.parse src with
+  | Error m ->
+      Fmt.epr "%s: %s@." path m;
+      exit 2
+  | Ok quals -> (
+      try Typequal.Lattice.Space.create quals
+      with Typequal.Lattice.Space_error e ->
+        Fmt.epr "%s: %a@." path Typequal.Lattice.pp_space_error e;
+        exit 2)
+
+let main expr file poly run_it spacekind stats no_compact lattice dump_lattice =
+  let space, hooks =
+    match lattice with
+    | Some path -> (space_of_lattice_file path, Infer.no_hooks)
+    | None -> space_of spacekind
+  in
+  if dump_lattice then begin
+    Fmt.pr "%a" Typequal.Lattice.Space.pp_dump space;
+    exit 0
+  end;
   let src =
     match (expr, file) with
     | Some e, _ -> e
@@ -36,7 +60,6 @@ let main expr file poly run_it spacekind stats no_compact =
         Fmt.epr "need -e EXPR or FILE@.";
         exit 2
   in
-  let space, hooks = space_of spacekind in
   match Parse.parse_result src with
   | Error m ->
       Fmt.epr "parse error: %s@." m;
@@ -102,11 +125,30 @@ let no_compact =
     & info [ "no-compact" ]
         ~doc:"Disable scheme compaction at let-generalization (ablation)")
 
+let lattice =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "lattice" ] ~docv:"FILE"
+        ~doc:
+          "Load a user-defined qualifier lattice from a CQual-style config \
+           file (see the README for the format) instead of a predefined \
+           $(b,--space). Annotations and assertions may then name levels, \
+           e.g. @[[tainted]] and |[[maybe_tainted]].")
+
+let dump_lattice =
+  Arg.(
+    value & flag
+    & info [ "dump-lattice" ]
+        ~doc:
+          "Print the active qualifier space (qualifiers, levels, order, bit \
+           layout) and exit")
+
 let cmd =
   let doc = "qualified type inference for the example language (PLDI 1999)" in
   Cmd.v (Cmd.info "qualc" ~doc)
     Term.(
       const main $ expr $ file $ poly $ run_it $ spacekind $ stats
-      $ no_compact)
+      $ no_compact $ lattice $ dump_lattice)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,32 @@
+/* Three-level taint over C, using the user-defined lattice in
+ * examples/taint3.lat:
+ *
+ *     untainted < maybe_tainted < tainted
+ *
+ * $-annotations name levels directly. half_clean strips shell
+ * metacharacters: its result is no longer an injection vector but its
+ * content is still untrusted, so it is declared $maybe_tainted. Logging
+ * accepts that; executing a command does not.
+ *
+ * Run with:
+ *   cqualc --lattice examples/taint3.lat examples/taint_levels.c --positions
+ *
+ * Expected: one type error — the exec_cmd call. The two-point taint
+ * lattice (--taint) cannot express this program: half_clean's result is
+ * either tainted (log_msg flagged, a false positive) or untainted (the
+ * exec_cmd bug missed).
+ */
+
+$tainted char *read_net(char *buf);
+$maybe_tainted char *half_clean($tainted char *s);
+void log_msg($maybe_tainted char *msg);
+void exec_cmd($untainted char *cmd);
+
+void handler(char *b) {
+  char *raw;
+  char *clean;
+  raw = read_net(b);
+  clean = half_clean(raw);
+  log_msg(clean);  /* ok: maybe_tainted <= maybe_tainted */
+  exec_cmd(clean); /* error: maybe_tainted </= untainted */
+}

@@ -1,0 +1,91 @@
+(* Multi-level taint: a user-defined qualifier lattice (PR 5).
+
+   The classic taint analysis (examples/taint_tracking.ml) has exactly
+   two levels — a value is tainted or it is not. Real sanitizers are
+   rarely that binary: a function that strips shell metacharacters
+   removes the injection vector but cannot vouch for the content. A
+   three-level chain
+
+       untainted  <  maybe_tainted  <  tainted
+
+   lets the type system say so: logging accepts anything up to
+   [maybe_tainted], while executing a command requires [untainted].
+
+   The lattice is declared programmatically here with
+   [Qualifier.Order.chain_exn]; the same space can be loaded from a
+   config file with [--lattice examples/taint3.lat] on both CLIs.
+
+   Run with: dune exec examples/taint_levels.exe *)
+
+open Qlambda
+module Q = Typequal.Qualifier
+module Space = Typequal.Lattice.Space
+
+(* one ordered coordinate: a three-level chain (2 bits, Birkhoff-encoded) *)
+let taint =
+  Q.ordered "taint"
+    (Q.Order.chain_exn [ "untainted"; "maybe_tainted"; "tainted" ])
+
+let space = Space.create [ taint ]
+
+let show sp src =
+  Fmt.pr "@.%s@." src;
+  match Infer.check ~poly:true sp (Parse.parse src) with
+  | Ok _ -> Fmt.pr "  => SAFE (typechecks)@."
+  | Error (m :: _) -> Fmt.pr "  => FLAGGED: %s@." m
+  | Error [] -> ()
+
+(* [half_clean] strips metacharacters: its result is fresh, so it is no
+   longer an injection vector, but the content is still untrusted —
+   annotate the result [maybe_tainted]. *)
+let half_cleaned use =
+  "let read_net = fun u -> @[tainted] 42 in\n\
+   let half_clean = fun x -> if x == 0 then @[maybe_tainted] 0 else \
+   @[maybe_tainted] 1 in\n" ^ use
+
+let () =
+  Fmt.pr "== three-level taint: untainted < maybe_tainted < tainted ==@.";
+  Fmt.pr "annotations and assertions name levels directly@.";
+
+  (* logging tolerates half-cleaned data: maybe_tainted <= maybe_tainted *)
+  show space
+    (half_cleaned
+       "let log = fun x -> (x |[maybe_tainted]) in\n\
+        log (half_clean (read_net ()))");
+
+  (* ...but executing it still needs full trust: maybe_tainted </= untainted *)
+  show space
+    (half_cleaned
+       "let exec = fun cmd -> (cmd |[untainted]) in\n\
+        exec (half_clean (read_net ()))");
+
+  (* raw network data fails even the logging bound *)
+  show space
+    (half_cleaned
+       "let log = fun x -> (x |[maybe_tainted]) in\n\
+        log (read_net ())");
+
+  (* trusted data passes the strictest sink *)
+  show space
+    "let exec = fun cmd -> (cmd |[untainted]) in\n\
+     exec 7";
+
+  (* The two-point lattice cannot express this. With only
+     tainted/untainted, half_clean's result is either tainted — and the
+     harmless log call above is FLAGGED (false positive) — or untainted,
+     and the dangerous exec call is SAFE (missed bug). *)
+  Fmt.pr "@.-- the same scenario under the two-point lattice --@.";
+  let two_point = Rules.taint_space in
+  show two_point
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let half_clean = fun x -> if x == 0 then @[tainted] 0 else @[tainted] 1 \
+     in\n\
+     let log = fun x -> (x |[~tainted]) in\n\
+     log (half_clean (read_net ()))";
+  Fmt.pr "   (false positive: logging half-cleaned data is fine)@.";
+  show two_point
+    "let read_net = fun u -> @[tainted] 42 in\n\
+     let half_clean = fun x -> if x == 0 then 0 else 1 in\n\
+     let exec = fun cmd -> (cmd |[~tainted]) in\n\
+     exec (half_clean (read_net ()))";
+  Fmt.pr "   (missed bug: half-cleaned data reached exec)@."

@@ -605,8 +605,18 @@ let explain t v =
             else None)
           v.hi_reasons
       in
-      Fmt.str "qualifier %a of %a violates an upper bound%a%s" Qualifier.pp q
-        pp_var v
+      (* Ordered coordinates name the violating levels; classic two-point
+         coordinates keep the historical message byte-for-byte. *)
+      let levels =
+        match Space.order sp i with
+        | None -> ""
+        | Some _ ->
+            Fmt.str ": level %s exceeds bound %s"
+              (Elt.level_name sp i v.lo)
+              (Elt.level_name sp i v.hi_bound)
+      in
+      Fmt.str "qualifier %a of %a violates an upper bound%s%a%s" Qualifier.pp q
+        pp_var v levels
         Fmt.(option (any " (" ++ string ++ any ")"))
         bound_reason origin
 
@@ -697,21 +707,20 @@ let greatest t v =
 
 (* Classification of one coordinate of a variable, per Section 4.4. *)
 type verdict =
-  | Forced_up    (* least solution already has the qualifier: "must be const" *)
-  | Forced_down  (* greatest solution lacks it: "must not be const" *)
-  | Free         (* could be either *)
+  | Forced_up    (* least solution already at the coordinate's top: "must be const" *)
+  | Forced_down  (* greatest solution at its bottom: "must not be const" *)
+  | Free         (* anything in between *)
 
 let classify t v i =
   if not t.solved then ignore (solve t);
   let v = find v in
-  let present x = Elt.has t.space i x in
-  let q = Space.qual t.space i in
-  (* "up" means toward the top of the coordinate's two-point lattice *)
-  let up_present = Qualifier.is_positive q in
-  let lo_up = present v.lo = up_present in
-  let hi_up = present v.hi = up_present in
-  if lo_up then Forced_up
-  else if not hi_up then Forced_down
+  (* In the upset encoding a coordinate is at its sub-lattice top when its
+     whole bit range is set and at its bottom when the range is clear; for
+     a classic two-point qualifier "top" is presence (positive) or absence
+     (negative), exactly the historical verdicts. *)
+  let m = Elt.singleton_mask t.space i in
+  if v.lo land m = m then Forced_up
+  else if v.hi land m = 0 then Forced_down
   else Free
 
 let classify_name t v name = classify t v (Space.find t.space name)

@@ -61,11 +61,13 @@ type qrules = {
       (** interpretation of source-level qualifiers on a declaration *)
 }
 
-(** Section 4's const rules: assignment targets below ¬const; escaping
+(** Section 4's const rules, generalized over the ambient space (which
+    must contain ["const"]): assignment targets below ¬const; escaping
     pointer levels not declared const are forced non-const; declared
-    qualifiers in the space seed lower bounds. *)
-let const_rules : qrules =
-  let sp = const_space in
+    qualifiers in the space seed lower bounds. Running the same rules in a
+    wider space (extra coordinates, possibly multi-level) must not change
+    the const verdicts — the bench's lattice section checks exactly that. *)
+let const_rules_in sp : qrules =
   let not_const = Elt.not_name sp "const" in
   {
     qr_space = sp;
@@ -87,6 +89,8 @@ let const_rules : qrules =
       (fun store c quals ->
         seed_declared store c quals ~reason:"declared qualifier");
   }
+
+let const_rules : qrules = const_rules_in const_space
 
 let taint_space = Space.create [ Q.tainted ]
 
@@ -118,6 +122,65 @@ let taint_rules : qrules =
         if Cast.has_qual "untainted" quals then
           Solver.add_leq_vc ~reason:"declared $untainted (sink)" store
             c.Qtypes.q not_tainted);
+  }
+
+(** Generic rules for a user-defined lattice (the [--lattice FILE] path):
+    CQual's declaration semantics. A declared classic qualifier seeds a
+    lower bound (presence), as in {!const_rules}. A declared {e level} of
+    an ordered coordinate pins the coordinate to exactly that level — the
+    declaration states the variable's constant value, so [$tainted] data
+    cannot flow into a [$untainted] cell and vice versa only downward.
+    Escapes to unknown code are bounded by the declared level of the
+    prototype parameter when one exists (the CQual trusted-sink pattern:
+    [$untainted] pins escapes at bottom); writes are unrestricted.
+    [qual] names the coordinate {!Report} measures. *)
+let lattice_rules sp ~qual : qrules =
+  if not (Space.mem sp qual) then
+    invalid_arg ("Analysis.lattice_rules: qualifier " ^ qual ^ " not in space");
+  let pin_level store v i l ~reason =
+    let mask = Elt.singleton_mask sp i in
+    Solver.add_leq_cv ~mask ~reason store
+      (Elt.with_level sp i l (Elt.bottom sp))
+      v;
+    Solver.add_leq_vc ~mask ~reason store v (Elt.with_level sp i l (Elt.top sp))
+  in
+  {
+    qr_space = sp;
+    qr_name = qual;
+    qr_write = (fun _ _ -> ());
+    qr_escape =
+      (fun store ~declared q ->
+        match declared with
+        | Some qs ->
+            List.iter
+              (fun qn ->
+                match Space.resolve sp qn with
+                | Some (`Level (i, l)) ->
+                    Solver.add_leq_vc
+                      ~mask:(Elt.singleton_mask sp i)
+                      ~reason:("escapes to code declared " ^ qn)
+                      store q
+                      (Elt.with_level sp i l (Elt.top sp))
+                | Some (`Qual _) | None -> ())
+              qs
+        | None -> ());
+    qr_seed =
+      (fun store c quals ->
+        (* classic qualifiers: presence as a lower bound *)
+        seed_declared store c
+          (List.filter
+             (fun qn ->
+               match Space.resolve sp qn with Some (`Qual _) -> true | _ -> false)
+             quals)
+          ~reason:"declared qualifier";
+        (* levels: the declaration is the coordinate's constant value *)
+        List.iter
+          (fun qn ->
+            match Space.resolve sp qn with
+            | Some (`Level (i, l)) ->
+                pin_level store c.Qtypes.q i l ~reason:("declared " ^ qn)
+            | Some (`Qual _) | None -> ())
+          quals);
   }
 
 type fentry =

@@ -51,8 +51,12 @@ let seed_declared store (c : cell) (quals : Cast.quals) ~reason =
   let elt =
     List.fold_left
       (fun acc q ->
-        match Typequal.Lattice.Space.find_opt sp q with
-        | Some i -> Elt.set sp i acc
+        match Typequal.Lattice.Space.resolve sp q with
+        | Some (`Qual i) -> Elt.set sp i acc
+        | Some (`Level (i, l)) ->
+            (* a declared level of an ordered coordinate lower-bounds the
+               coordinate at that level *)
+            Elt.join sp acc (Elt.with_level sp i l (Elt.bottom sp))
         | None -> acc (* qualifier not in this analysis's space: ignored *))
       (Elt.bottom sp) quals
   in

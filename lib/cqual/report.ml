@@ -22,6 +22,10 @@ type position = {
   p_level : int;  (** 1 = contents of the pointer itself *)
   p_var : Solver.var;
   p_declared : bool;  (** const written in the source at this level *)
+  p_levels : (string * string) option;
+      (** inferred [least, greatest] level names when the measured
+          qualifier is an ordered (multi-level) coordinate; [None] for
+          classic two-point qualifiers *)
 }
 
 type verdict = Must_const | Must_not_const | Either
@@ -53,6 +57,7 @@ let positions_of_rt ?(qual = "const") ~fname ~where prog
             p_level = level;
             p_var = c.q;
             p_declared = Cast.has_qual qual (Cast.quals_of target);
+            p_levels = None;
           }
         in
         go (level + 1) target c.contents (pos :: acc)
@@ -106,6 +111,19 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
         | None -> [])
       ifaces
   in
+  (* when the measured qualifier is an ordered coordinate, also report
+     the inferred level range by name (never raw masks) *)
+  let sp = Solver.space store in
+  let qi = Typequal.Lattice.Space.find_opt sp qual in
+  let level_range p =
+    match qi with
+    | Some i when Typequal.Lattice.Space.order sp i <> None ->
+        Some
+          ( Typequal.Lattice.Elt.level_name sp i (Solver.least store p.p_var),
+            Typequal.Lattice.Elt.level_name sp i (Solver.greatest store p.p_var)
+          )
+    | _ -> None
+  in
   let classified =
     List.map
       (fun p ->
@@ -116,6 +134,9 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
             | Solver.Forced_up -> Must_const
             | Solver.Forced_down -> Must_not_const
             | Solver.Free -> Either
+        in
+        let p =
+          if budget_trip <> None then p else { p with p_levels = level_range p }
         in
         (p, v))
       positions
@@ -159,9 +180,13 @@ let pp_verdict ppf = function
   | Either -> Fmt.string ppf "could-be-const"
 
 let pp_position ppf ((p, v) : position * verdict) =
-  Fmt.pf ppf "%s: %a level %d%s: %a" p.p_fun pp_where p.p_where p.p_level
+  Fmt.pf ppf "%s: %a level %d%s: %a%a" p.p_fun pp_where p.p_where p.p_level
     (if p.p_declared then " [declared const]" else "")
     pp_verdict v
+    Fmt.(
+      option (fun ppf (lo, hi) ->
+          if lo = hi then pf ppf " [%s]" lo else pf ppf " [%s..%s]" lo hi))
+    p.p_levels
 
 let pp_results ppf (r : results) =
   Fmt.pf ppf "declared=%d inferred-possible=%d must=%d total=%d errors=%d"

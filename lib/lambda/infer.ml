@@ -115,9 +115,21 @@ let env_qvars (env : env) =
 let override sp base spec =
   List.fold_left
     (fun acc (name, present) ->
-      match Space.find_opt sp name with
+      match Space.resolve sp name with
       | None -> raise (Infer_error ("unknown qualifier " ^ name))
-      | Some i -> if present then Elt.set sp i acc else Elt.clear sp i acc)
+      | Some (`Qual i) ->
+          if present then Elt.set sp i acc else Elt.clear sp i acc
+      | Some (`Level (i, l)) ->
+          (* a level name of an ordered coordinate pins the coordinate to
+             exactly that level (annotations: the value's level; assertion
+             bounds: at most that level). [~level] has no principal
+             meaning in a general lattice — name the bounding level. *)
+          if present then Elt.with_level sp i l acc
+          else
+            raise
+              (Infer_error
+                 ("cannot negate level " ^ name
+                ^ "; bound by naming the level itself, e.g. |[" ^ name ^ "]")))
     base spec
 
 (** Annotation constant: listed coordinates overridden, others at their

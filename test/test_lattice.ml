@@ -18,10 +18,18 @@ let test_space_basics () =
   Alcotest.(check bool) "mem bogus" false (Sp.mem fig2 "bogus");
   Alcotest.(check int) "find nonzero" 2 (Sp.find fig2 "nonzero")
 
+(* Expect a structured [Space_error] with the given stable code. *)
+let expect_space_error code f =
+  match f () with
+  | _ -> Alcotest.failf "expected Space_error %s, got a value" code
+  | exception Lattice.Space_error e ->
+      Alcotest.(check string) "error code" code e.Lattice.code;
+      Alcotest.(check bool) "message non-empty" true
+        (String.length e.Lattice.message > 0)
+
 let test_space_dup () =
-  Alcotest.check_raises "duplicate name rejected"
-    (Invalid_argument "Lattice.Space.create: duplicate qualifier \"const\"")
-    (fun () -> ignore (Sp.create [ q_const; Qualifier.positive "const" ]))
+  expect_space_error "L001" (fun () ->
+      Sp.create [ q_const; Qualifier.positive "const" ])
 
 let test_space_unknown () =
   Alcotest.check_raises "unknown qualifier"
@@ -153,13 +161,236 @@ let test_annot_assert_builders () =
   Alcotest.(check bool) "bound keeps dynamic" true (E.has_name fig2 "dynamic" b)
 
 let test_max_size () =
-  let quals = List.init 61 (fun i -> Qualifier.positive (Printf.sprintf "q%d" i)) in
-  Alcotest.check_raises "too many qualifiers"
-    (Invalid_argument "Lattice.Space.create: at most 60 qualifiers")
-    (fun () -> ignore (Sp.create quals));
-  (* exactly 60 is fine *)
-  let sp = Sp.create (List.filteri (fun i _ -> i < 60) quals) in
-  Alcotest.(check int) "60 ok" 60 (Sp.size sp)
+  (* Total bit width is capped at 62 so every mask fits a non-negative
+     OCaml int; exceeding it is a structured diagnostic, not a silent
+     overflow (the old code relied on [1 lsl size] wrapping). *)
+  let quals =
+    List.init 63 (fun i -> Qualifier.positive (Printf.sprintf "q%d" i))
+  in
+  expect_space_error "L002" (fun () -> Sp.create quals);
+  (* exactly 62 one-bit coordinates is fine *)
+  let sp = Sp.create (List.filteri (fun i _ -> i < 62) quals) in
+  Alcotest.(check int) "62 ok" 62 (Sp.size sp);
+  Alcotest.(check int) "62 bits" 62 (Sp.total_bits sp);
+  (* the cap counts bits, not qualifiers: a wide ordered coordinate can
+     blow the budget with far fewer than 62 qualifiers *)
+  let chain9 =
+    Qualifier.ordered "lvl"
+      (Qualifier.Order.chain_exn (List.init 9 (Printf.sprintf "l%d")))
+  in
+  let classics =
+    List.init 55 (fun i -> Qualifier.positive (Printf.sprintf "c%d" i))
+  in
+  expect_space_error "L002" (fun () -> Sp.create (chain9 :: classics))
+
+(* ---- user-defined orders: construction and validation ---- *)
+
+module O = Qualifier.Order
+
+let lv o name =
+  match O.find_level o name with
+  | Some i -> i
+  | None -> Alcotest.failf "level %s not found" name
+
+let chk_err name pred = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: diagnostic mentions cause (%s)" name msg)
+        true (pred msg)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_order_construction () =
+  (* a chain *)
+  let c = O.chain_exn [ "low"; "mid"; "high" ] in
+  Alcotest.(check int) "chain size" 3 (O.size c);
+  Alcotest.(check int) "chain bits" 2 (O.bits c);
+  Alcotest.(check bool) "low <= high" true
+    (O.leq c (lv c "low") (lv c "high"));
+  Alcotest.(check bool) "high </= mid" false
+    (O.leq c (lv c "high") (lv c "mid"));
+  (* a diamond: bot < l, r < top — a lattice, 3 join-irreducibles? no:
+     l, r, and top = l|r, so irreducibles are l and r only -> 2 bits *)
+  let d =
+    O.of_levels
+      ~levels:[ "bot"; "l"; "r"; "top" ]
+      ~order:[ ("bot", "l"); ("bot", "r"); ("l", "top"); ("r", "top") ]
+  in
+  match d with
+  | Error e -> Alcotest.failf "diamond should build: %s" e
+  | Ok d ->
+      Alcotest.(check int) "diamond bits" 2 (O.bits d);
+      let l = lv d "l" and r = lv d "r" in
+      Alcotest.(check bool) "l vs r incomparable" false
+        (O.leq d l r || O.leq d r l);
+      Alcotest.(check int) "l|r = top" (lv d "top") (O.join d l r);
+      Alcotest.(check int) "l&r = bot" (lv d "bot") (O.meet d l r)
+
+let test_order_rejects () =
+  (* cycle: antisymmetry violated *)
+  chk_err "cycle"
+    (fun m -> contains m "cycle" || contains m "antisym")
+    (O.of_levels ~levels:[ "a"; "b" ] ~order:[ ("a", "b"); ("b", "a") ]);
+  (* two maximal elements: no lub for the pair *)
+  chk_err "no lub"
+    (fun m -> contains m "lub" || contains m "upper bound")
+    (O.of_levels ~levels:[ "bot"; "x"; "y" ]
+       ~order:[ ("bot", "x"); ("bot", "y") ]);
+  (* M3: a lattice, but not distributive — Birkhoff bits would make
+     join inexact, so it must be rejected with a diagnostic naming the
+     offending triple *)
+  chk_err "M3 non-distributive"
+    (fun m -> contains m "distribut")
+    (O.of_levels
+       ~levels:[ "bot"; "a"; "b"; "c"; "top" ]
+       ~order:
+         [
+           ("bot", "a"); ("bot", "b"); ("bot", "c");
+           ("a", "top"); ("b", "top"); ("c", "top");
+         ]);
+  (* duplicate level name *)
+  chk_err "dup level"
+    (fun m -> contains m "duplicate")
+    (O.of_levels ~levels:[ "a"; "a" ] ~order:[])
+
+let test_order_encoding () =
+  (* encodings are upsets of join-irreducibles: leq = subset, join = or,
+     meet = and, checked against the order relation itself *)
+  let d =
+    match
+      O.of_levels
+        ~levels:[ "bot"; "l"; "r"; "top" ]
+        ~order:[ ("bot", "l"); ("bot", "r"); ("l", "top"); ("r", "top") ]
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "diamond: %s" e
+  in
+  let n = O.size d in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let ea = O.encode d a and eb = O.encode d b in
+      Alcotest.(check bool)
+        (Printf.sprintf "leq %d %d = subset" a b)
+        (O.leq d a b)
+        (ea land lnot eb = 0);
+      Alcotest.(check int)
+        (Printf.sprintf "join %d %d = or" a b)
+        (O.encode d (O.join d a b))
+        (ea lor eb);
+      Alcotest.(check int)
+        (Printf.sprintf "meet %d %d = and" a b)
+        (O.encode d (O.meet d a b))
+        (ea land eb)
+    done
+  done
+
+(* a mixed space: classic two-point coordinates + a three-level chain *)
+let taint3 =
+  Qualifier.ordered "taint"
+    (O.chain_exn [ "untainted"; "maybe_tainted"; "tainted" ])
+
+let mixed = Sp.create [ q_const; taint3; q_nonzero ]
+
+let test_mixed_space () =
+  Alcotest.(check int) "3 coordinates" 3 (Sp.size mixed);
+  Alcotest.(check int) "4 bits total" 4 (Sp.total_bits mixed);
+  Alcotest.(check int) "taint is 2 bits wide" 2 (Sp.width mixed 1);
+  (* level names resolve to their coordinate *)
+  (match Sp.resolve mixed "maybe_tainted" with
+  | Some (`Level (1, _)) -> ()
+  | _ -> Alcotest.fail "maybe_tainted should resolve to coordinate 1");
+  (match Sp.resolve mixed "const" with
+  | Some (`Qual 0) -> ()
+  | _ -> Alcotest.fail "const should resolve as a qualifier");
+  (* level round-trip through elements *)
+  let i = Sp.find mixed "taint" in
+  let taint_order =
+    match Sp.order mixed i with
+    | Some o -> o
+    | None -> Alcotest.fail "taint should be ordered"
+  in
+  let x =
+    E.with_level mixed i
+      (lv taint_order "maybe_tainted")
+      (E.bottom mixed)
+  in
+  Alcotest.(check string) "level name" "maybe_tainted"
+    (E.level_name mixed i x);
+  (* of_names_up with a level name raises that coordinate *)
+  let y = E.of_names_up mixed [ "const"; "maybe_tainted" ] in
+  Alcotest.(check bool) "const present" true (E.has_name mixed "const" y);
+  Alcotest.(check string) "level raised" "maybe_tainted"
+    (E.level_name mixed i y);
+  (* of_names_bound with a level name caps that coordinate *)
+  let b = E.of_names_bound mixed [ "maybe_tainted" ] in
+  Alcotest.(check string) "level capped" "maybe_tainted"
+    (E.level_name mixed i b);
+  Alcotest.(check bool) "other coords at top" true
+    (E.has_name mixed "const" b);
+  (* masks cover whole coordinate ranges *)
+  let m = E.singleton_mask mixed i in
+  Alcotest.(check bool) "range mask atomic" true
+    (m = E.mask_of_names mixed [ "tainted" ]
+    && m = E.mask_of_names mixed [ "taint" ])
+
+(* exhaustive lattice laws again, now on the mixed space (12 elements) *)
+let test_mixed_laws () =
+  let all = E.all mixed in
+  Alcotest.(check int) "12 elements" 12 (List.length all);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "refl" true (E.leq mixed a a);
+      Alcotest.(check bool) "bot <= a" true (E.leq mixed (E.bottom mixed) a);
+      Alcotest.(check bool) "a <= top" true (E.leq mixed a (E.top mixed));
+      List.iter
+        (fun b ->
+          let j = E.join mixed a b and m = E.meet mixed a b in
+          Alcotest.(check bool) "a <= a|b" true (E.leq mixed a j);
+          Alcotest.(check bool) "a&b <= a" true (E.leq mixed m a);
+          Alcotest.(check bool) "leq <-> join" (E.leq mixed a b) (E.equal j b);
+          List.iter
+            (fun c ->
+              if E.leq mixed a c && E.leq mixed b c then
+                Alcotest.(check bool) "join least" true (E.leq mixed j c);
+              if E.leq mixed c a && E.leq mixed c b then
+                Alcotest.(check bool) "meet greatest" true (E.leq mixed c m))
+            all)
+        all)
+    all
+
+let test_config_parse () =
+  let src =
+    "# three-level taint\n\
+     qualifier taint {\n\
+    \  levels untainted maybe_tainted tainted\n\
+    \  order untainted < maybe_tainted < tainted\n\
+     }\n\
+     qualifier const positive\n\
+     qualifier nonnull negative\n"
+  in
+  match Qualifier.Config.parse src with
+  | Error e -> Alcotest.failf "config should parse: %s" e
+  | Ok quals ->
+      Alcotest.(check int) "3 qualifiers" 3 (List.length quals);
+      let sp = Sp.create quals in
+      Alcotest.(check int) "4 bits" 4 (Sp.total_bits sp);
+      Alcotest.(check bool) "taint ordered" true (Sp.order sp 0 <> None);
+      (match Qualifier.polarity (Sp.qual sp 2) with
+      | Qualifier.Negative -> ()
+      | Qualifier.Positive -> Alcotest.fail "nonnull should be negative");
+      (* bad input carries a line number *)
+      (match
+         Qualifier.Config.parse
+           "qualifier taint {\n  order a < b\n  order b < a\n}\n"
+       with
+      | Ok _ -> Alcotest.fail "cycle should be rejected"
+      | Error m ->
+          Alcotest.(check bool) ("mentions line: " ^ m) true
+            (contains m "line"))
 
 let tests =
   [
@@ -175,4 +406,12 @@ let tests =
     Alcotest.test_case "annotation/assertion builders" `Quick
       test_annot_assert_builders;
     Alcotest.test_case "space size limit" `Quick test_max_size;
+    Alcotest.test_case "order construction (chain, diamond)" `Quick
+      test_order_construction;
+    Alcotest.test_case "order validation rejects bad posets" `Quick
+      test_order_rejects;
+    Alcotest.test_case "upset encoding is exact" `Quick test_order_encoding;
+    Alcotest.test_case "mixed classic/ordered space" `Quick test_mixed_space;
+    Alcotest.test_case "lattice laws on mixed space" `Quick test_mixed_laws;
+    Alcotest.test_case "lattice config files parse" `Quick test_config_parse;
   ]

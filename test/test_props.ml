@@ -450,3 +450,163 @@ let prop_optimized_equals_naive =
       !ok)
 
 let tests = tests @ [ QCheck_alcotest.to_alcotest prop_optimized_equals_naive ]
+
+(* ------------------------------------------------------------------ *)
+(* User-defined lattices (PR 5): random distributive lattices          *)
+(* ------------------------------------------------------------------ *)
+
+module O = Qualifier.Order
+
+(* A random poset on [n] points. Edges only go from lower to higher
+   index, so acyclicity is free; [rp_leq] is the reflexive-transitive
+   closure and serves as the oracle order on join-irreducibles. *)
+type rposet = { rp_n : int; rp_leq : bool array array }
+
+let rposet_gen : rposet QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 4 in
+  let* edges = list_repeat (n * n) bool in
+  let e = Array.of_list edges in
+  let leq =
+    Array.init n (fun i ->
+        Array.init n (fun j -> i = j || (i < j && e.((i * n) + j))))
+  in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if leq.(i).(k) && leq.(k).(j) then leq.(i).(j) <- true
+      done
+    done
+  done;
+  return { rp_n = n; rp_leq = leq }
+
+(* The downsets of a poset, each as a bitmask over the points. By
+   Birkhoff's theorem they form a distributive lattice under inclusion,
+   with union as lub and intersection as glb — the oracle for every
+   lattice operation. *)
+let downsets { rp_n = n; rp_leq = leq } =
+  let is_downset s =
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      if s land (1 lsl j) <> 0 then
+        for i = 0 to n - 1 do
+          if leq.(i).(j) && s land (1 lsl i) = 0 then ok := false
+        done
+    done;
+    !ok
+  in
+  List.filter is_downset (List.init (1 lsl n) Fun.id)
+
+(* Build an Order.t from the downsets; must always succeed. *)
+let order_of_poset p =
+  let downs = downsets p in
+  let name s = Printf.sprintf "d%d" s in
+  let levels = List.map name downs in
+  let order =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if a <> b && a land lnot b = 0 then Some (name a, name b)
+            else None)
+          downs)
+      downs
+  in
+  match O.of_levels ~levels ~order with
+  | Ok o -> (o, Array.of_list downs)
+  | Error e ->
+      QCheck2.Test.fail_reportf
+        "downset lattice rejected (should be distributive): %s" e
+
+let prop_random_lattice_laws =
+  QCheck2.Test.make ~count:300 ~name:"random distributive lattices: ops match the downset oracle"
+    rposet_gen
+    (fun p ->
+      let o, downs = order_of_poset p in
+      let n = O.size o in
+      n = Array.length downs
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 let da = downs.(a) and db = downs.(b) in
+                 let subset x y = x land lnot y = 0 in
+                 let j = O.join o a b and m = O.meet o a b in
+                 (* order, lub, glb against the oracle *)
+                 O.leq o a b = subset da db
+                 && downs.(j) = da lor db
+                 && downs.(m) = da land db
+                 (* encoding soundness: leq = subset, join = or,
+                    meet = and on the upset bit encodings *)
+                 && O.leq o a b = subset (O.encode o a) (O.encode o b)
+                 && O.encode o j = O.encode o a lor O.encode o b
+                 && O.encode o m = O.encode o a land O.encode o b)
+               (List.init n Fun.id))
+           (List.init n Fun.id))
+
+(* The same laws through the Space/Elt layer: an ordered coordinate next
+   to classic ones behaves like the oracle under masked comparison, and
+   levels round-trip. *)
+let prop_mixed_space_oracle =
+  QCheck2.Test.make ~count:200 ~name:"ordered coordinate in a mixed space matches the oracle"
+    rposet_gen
+    (fun p ->
+      let o, downs = order_of_poset p in
+      let sp =
+        Sp.create
+          [ Qualifier.const; Qualifier.ordered "q" o; Qualifier.nonzero ]
+      in
+      let i = Sp.find sp "q" in
+      let mask = E.singleton_mask sp i in
+      let n = O.size o in
+      List.for_all
+        (fun a ->
+          let xa = E.with_level sp i a (E.bottom sp) in
+          E.level sp i xa = a
+          && List.for_all
+               (fun b ->
+                 let xb = E.with_level sp i b (E.top sp) in
+                 (* masked comparison sees only the ordered coordinate *)
+                 E.leq_masked sp ~mask xa xb
+                 = (downs.(a) land lnot downs.(b) = 0)
+                 && E.level sp i (E.join sp xa (E.with_level sp i b (E.bottom sp)))
+                    = O.join o a b)
+               (List.init n Fun.id))
+        (List.init n Fun.id))
+
+(* End-to-end default-space parity: analyzing generated C under the
+   standard two-point const rules and under the same rules hosted in a
+   wider space (extra three-level coordinate, unconstrained) yields
+   identical reports. *)
+let wide_const_rules =
+  Cqual.Analysis.const_rules_in
+    (Sp.create
+       [
+         Qualifier.const;
+         Qualifier.ordered "trust" (O.chain_exn [ "low"; "mid"; "high" ]);
+       ])
+
+let prop_wider_space_parity =
+  QCheck2.Test.make ~count:12 ~name:"const analysis unchanged in a wider space"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let src = Cbench.Gen.generate ~seed ~target_lines:60 () in
+      let run rules =
+        (Cqual.Driver.run_source ~mode:Cqual.Analysis.Mono ~rules src)
+          .Cqual.Driver.results
+      in
+      let a = run Cqual.Analysis.const_rules and b = run wide_const_rules in
+      a.Cqual.Report.total = b.Cqual.Report.total
+      && a.Cqual.Report.declared = b.Cqual.Report.declared
+      && a.Cqual.Report.possible = b.Cqual.Report.possible
+      && a.Cqual.Report.must = b.Cqual.Report.must
+      && a.Cqual.Report.type_errors = b.Cqual.Report.type_errors)
+
+let tests =
+  tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_random_lattice_laws;
+        prop_mixed_space_oracle;
+        prop_wider_space_parity;
+      ]
