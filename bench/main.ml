@@ -31,6 +31,13 @@
                simplification (Section 6's open problem)
      micro   — Bechamel micro-benchmarks of the solver and both inference
                modes
+     scale   — the flat-arena push: a 1M+ line multi-file project analyzed
+               at jobs 1/2/4/8 (wall time, peak heap, solver counters,
+               serial-vs-parallel report digest), plus an arena-vs-
+               pre-arena solver core ablation sized to the 32-kloc
+               workloads; writes BENCH_scale.json. Only runs when named
+               explicitly (or under "all") — the corpus is large.
+               TYPEQUAL_SCALE_LINES overrides the line target.
 
    Every section that runs records wall times, sizes and solver stats
    into BENCH_solver.json (machine-readable, tracked across PRs). *)
@@ -107,10 +114,31 @@ let jstats (s : TS.stats) =
       ("scheme_edges_after", ji s.TS.scheme_edges_after);
       ("instantiations_memo_hits", ji s.TS.instantiations_memo_hits);
       ("empty_batches_skipped", ji s.TS.empty_batches_skipped);
+      ("heap_words", ji s.TS.heap_words);
+      ("top_heap_words", ji s.TS.top_heap_words);
+      ("cores_available", ji s.TS.cores_available);
+    ]
+
+(* memory + machine context, attached to every bench section so the perf
+   trajectory tracks heap growth alongside wall time *)
+let jenv () =
+  let g = Gc.quick_stat () in
+  Jobj
+    [
+      ("heap_words", ji g.Gc.heap_words);
+      ("top_heap_words", ji g.Gc.top_heap_words);
+      ("cores_available", ji (Typequal.Pool.cores_available ()));
     ]
 
 let bench_sections : (string * json) list ref = ref []
-let record_section name j = bench_sections := (name, j) :: !bench_sections
+
+let record_section name j =
+  let j =
+    match j with
+    | Jobj kvs -> Jobj (("env", jenv ()) :: kvs)
+    | other -> Jobj [ ("env", jenv ()); ("data", other) ]
+  in
+  bench_sections := (name, j) :: !bench_sections
 
 let write_json () =
   match !bench_sections with
@@ -739,6 +767,7 @@ let parallel () =
     (Jobj
        [
          ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
          ("cores_available", ji cores);
          ("timing", Jstr "best_of_3");
          ("workload_lines", ji lines);
@@ -897,6 +926,7 @@ let compaction () =
     (Jobj
        [
          ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
          ("cores_available", ji cores);
          ("workload_lines", ji lines);
          ("all_checks_passed", jb !ok);
@@ -984,6 +1014,7 @@ let lattice () =
     (Jobj
        [
          ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
          ("timing", Jstr "best_of_3");
          ("workload_lines", ji lines);
          ("counts_identical", jb !ok);
@@ -1028,6 +1059,277 @@ let extensions () =
      — both are asserted.)@."
 
 (* ------------------------------------------------------------------ *)
+(* Scale: the flat-arena core on a million-line multi-file project      *)
+(* ------------------------------------------------------------------ *)
+
+module RS = Typequal.Solver_ref
+
+(* One deterministic constraint stream replayed against both solver cores.
+   Ops: (1, a, b) edge a<=b; (2, a, _) lower bound top<=a; (3, a, _) upper
+   bound a<=top; (4, _, _) incremental solve; (5, a, _) least-solution
+   query. Edges are window-local, so the stream is duplicate- and
+   cycle-rich — exactly the dedup- and propagation-bound shape that
+   motivated the arena. *)
+let ablation_ops ~nvars ~nops =
+  let rng = Cbench.Rng.create 0xAB1E in
+  Array.init nops (fun i ->
+      (* a solve per ~200 constraints: the per-function cadence inference
+         produces (generate a function's constraints, classify, move on) *)
+      if i mod 200 = 199 then (4, 0, 0)
+      else
+        let r = Cbench.Rng.int rng 100 in
+        if r < 55 then
+          (* flow edges: mostly forward (calls into later prototypes),
+             with a minority of back edges closing recursion cycles *)
+          let a = Cbench.Rng.int rng nvars in
+          let b =
+            if Cbench.Rng.int rng 100 < 8 then a - 1 - Cbench.Rng.int rng 40
+            else a + 1 + Cbench.Rng.int rng 200
+          in
+          (1, a, max 0 (min (nvars - 1) b))
+        else if r < 70 then
+          (* re-derived constraints: the dedup-table hot path *)
+          let a = Cbench.Rng.int rng nvars in
+          (1, a, min (nvars - 1) (a + 1 + Cbench.Rng.int rng 8))
+        else if r < 82 then (2, Cbench.Rng.int rng nvars, 0)
+        else if r < 94 then (3, Cbench.Rng.int rng nvars, 0)
+        else (5, Cbench.Rng.int rng nvars, 0))
+
+let replay_arena sp top ops nvars =
+  let st = TS.create sp in
+  let v = Array.init nvars (fun _ -> TS.fresh st) in
+  Array.iter
+    (fun (tag, a, b) ->
+      match tag with
+      | 1 -> TS.add_leq_vv st v.(a) v.(b)
+      | 2 -> TS.add_leq_cv st top v.(a)
+      | 3 -> TS.add_leq_vc st v.(a) top
+      | 4 -> ignore (TS.solve st)
+      | _ -> ignore (TS.least st v.(a)))
+    ops;
+  ignore (TS.solve st);
+  (st, v)
+
+let replay_ref sp top ops nvars =
+  let st = RS.create sp in
+  let v = Array.init nvars (fun _ -> RS.fresh st) in
+  Array.iter
+    (fun (tag, a, b) ->
+      match tag with
+      | 1 -> RS.add_leq_vv st v.(a) v.(b)
+      | 2 -> RS.add_leq_cv st top v.(a)
+      | 3 -> RS.add_leq_vc st v.(a) top
+      | 4 -> ignore (RS.solve st)
+      | _ -> ignore (RS.least st v.(a)))
+    ops;
+  ignore (RS.solve st);
+  (st, v)
+
+(* everything observable: structural counters plus sampled solutions *)
+let arena_digest sp (st, v) =
+  let s = TS.stats st in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "vars=%d unified=%d edges=%d deduped=%d cycles=%d \
+                     incr=%d full=%d pops=%d\n"
+       s.TS.vars_created s.TS.vars_unified s.TS.edges_added
+       s.TS.edges_deduped s.TS.cycles_collapsed s.TS.incr_solves
+       s.TS.full_solves s.TS.worklist_pops);
+  let n = Array.length v in
+  let step = max 1 (n / 64) in
+  let i = ref 0 in
+  while !i < n do
+    Buffer.add_string b
+      (Fmt.str "%d:%a/%a\n" !i
+         (Typequal.Lattice.Elt.pp sp)
+         (TS.least st v.(!i))
+         (Typequal.Lattice.Elt.pp sp)
+         (TS.greatest st v.(!i)));
+    i := !i + step
+  done;
+  Buffer.contents b
+
+let ref_digest sp (st, v) =
+  let s = RS.stats st in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "vars=%d unified=%d edges=%d deduped=%d cycles=%d \
+                     incr=%d full=%d pops=%d\n"
+       s.RS.vars_created s.RS.vars_unified s.RS.edges_added
+       s.RS.edges_deduped s.RS.cycles_collapsed s.RS.incr_solves
+       s.RS.full_solves s.RS.worklist_pops);
+  let n = Array.length v in
+  let step = max 1 (n / 64) in
+  let i = ref 0 in
+  while !i < n do
+    Buffer.add_string b
+      (Fmt.str "%d:%a/%a\n" !i
+         (Typequal.Lattice.Elt.pp sp)
+         (RS.least st v.(!i))
+         (Typequal.Lattice.Elt.pp sp)
+         (RS.greatest st v.(!i)));
+    i := !i + step
+  done;
+  Buffer.contents b
+
+(* the observable report of a scale run, rendered to a string (wall-clock
+   and heap fields excluded): must be identical across job counts *)
+let scale_digest (r : Report.results) (st : TS.stats) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun pv -> Buffer.add_string b (Fmt.str "%a\n" Report.pp_position pv))
+    r.Report.positions;
+  Buffer.add_string b
+    (Printf.sprintf "declared=%d possible=%d must=%d total=%d errors=%d\n"
+       r.Report.declared r.Report.possible r.Report.must r.Report.total
+       r.Report.type_errors);
+  List.iter (fun w -> Buffer.add_string b ("warning " ^ w ^ "\n")) r.Report.warnings;
+  Buffer.add_string b
+    (Printf.sprintf "vars=%d unified=%d edges=%d deduped=%d cycles=%d pops=%d\n"
+       st.TS.vars_created st.TS.vars_unified st.TS.edges_added
+       st.TS.edges_deduped st.TS.cycles_collapsed st.TS.worklist_pops);
+  Buffer.contents b
+
+let scale () =
+  Fmt.pr
+    "@.=== Scale: flat-arena core, million-line multi-file project ===@.";
+  let cores = Typequal.Pool.cores_available () in
+  Fmt.pr "cores available: %d%s@." cores
+    (if cores < 2 then
+       " (single-core machine: jobs rows measure overhead, not speedup)"
+     else "");
+
+  (* ---- the corpus ---- *)
+  let b = List.hd Cbench.Suite.scale in
+  let target =
+    match Sys.getenv_opt "TYPEQUAL_SCALE_LINES" with
+    | Some v -> ( try int_of_string v with _ -> b.Cbench.Suite.b_lines)
+    | None -> b.Cbench.Suite.b_lines
+  in
+  let t0 = Unix.gettimeofday () in
+  let files =
+    Cbench.Gen.generate_project ~seed:b.Cbench.Suite.b_seed
+      ~target_lines:target ()
+  in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  let lines = Cbench.Gen.project_lines files in
+  let src = Driver.concat_sources files in
+  let t0 = Unix.gettimeofday () in
+  let prog = Driver.compile src in
+  let compile_s = Unix.gettimeofday () -. t0 in
+  let nfun = List.length (Cfront.Cprog.functions prog) in
+  let fdg = Fdg.build prog in
+  Fmt.pr
+    "corpus %s: %d files, %d lines, %d functions; %d sccs (largest %d), \
+     wavefront width %d@."
+    b.Cbench.Suite.b_name (List.length files) lines nfun
+    (Fdg.scc_count fdg) (Fdg.largest_scc fdg) (Fdg.wavefront_width fdg);
+  Fmt.pr "generate %.2fs, parse %.2fs@.@." gen_s compile_s;
+
+  (* ---- jobs sweep: wall time, peak heap, counters, digest ---- *)
+  Fmt.pr "%-5s %11s %9s %14s %12s %9s@." "jobs" "analyze(s)" "speedup"
+    "top_heap(Mw)" "vars" "possible";
+  let jrows = ref [] in
+  let digests = ref [] in
+  let base = ref nan in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let env, ifaces = Analysis.run ~jobs Analysis.Poly prog in
+      let r = Report.measure env ifaces in
+      let analyze_s = Unix.gettimeofday () -. t0 in
+      if jobs = 1 then base := analyze_s;
+      let st = Analysis.stats env in
+      digests := (jobs, scale_digest r st) :: !digests;
+      Fmt.pr "%-5d %11.3f %8.2fx %14.1f %12d %9d@." jobs analyze_s
+        (!base /. analyze_s)
+        (float st.TS.top_heap_words /. 1e6)
+        st.TS.vars_created r.Report.possible;
+      jrows :=
+        Jobj
+          [
+            ("jobs", ji jobs);
+            ("analyze_s", jf analyze_s);
+            ("speedup_vs_serial", jf (!base /. analyze_s));
+            ("possible", ji r.Report.possible);
+            ("type_errors", ji r.Report.type_errors);
+            ("solver", jstats st);
+          ]
+        :: !jrows)
+    [ 1; 2; 4; 8 ];
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+  let d1 = List.assoc 1 !digests in
+  List.iter
+    (fun (jobs, d) ->
+      if jobs <> 1 then
+        check
+          (Printf.sprintf "report at jobs=%d byte-identical to serial" jobs)
+          (d = d1) "")
+    !digests;
+
+  (* ---- ablation: arena core vs the pre-arena (PR 5) store ---- *)
+  (* sized to the 32-kloc workloads of the parallel/compaction sections:
+     a 32-kloc poly analysis creates ~1 qualifier variable per line *)
+  Fmt.pr "@.--- ablation: flat arena vs pre-arena solver core ---@.";
+  let sp = Analysis.const_space in
+  let top = Typequal.Lattice.Elt.top sp in
+  let nvars = 32_000 and nops = 320_000 in
+  let ops = ablation_ops ~nvars ~nops in
+  Fmt.pr "constraint stream: %d vars, %d ops (edges/bounds/solves)@." nvars
+    nops;
+  let arena_s = time_best 3 (fun () -> replay_arena sp top ops nvars) in
+  let ref_s = time_best 3 (fun () -> replay_ref sp top ops nvars) in
+  let da = arena_digest sp (replay_arena sp top ops nvars) in
+  let dr = ref_digest sp (replay_ref sp top ops nvars) in
+  Fmt.pr "arena %.4fs, pre-arena %.4fs: %.2fx@." arena_s ref_s
+    (ref_s /. arena_s);
+  check "ablation: counters and solutions byte-identical" (da = dr) "";
+  check "ablation: arena >= 2x faster at jobs=1"
+    (ref_s /. arena_s >= 2.)
+    (Printf.sprintf " measured %.2fx" (ref_s /. arena_s));
+  Fmt.pr "%s@."
+    (if !ok then "ALL SCALE CHECKS PASSED" else "SCALE CHECKS FAILED");
+
+  (* ---- BENCH_scale.json ---- *)
+  let buf = Buffer.create 4096 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
+         ("corpus", Jstr b.Cbench.Suite.b_name);
+         ("files", ji (List.length files));
+         ("lines", ji lines);
+         ("functions", ji nfun);
+         ("generate_s", jf gen_s);
+         ("compile_s", jf compile_s);
+         ("mode", Jstr "poly");
+         ("runs", Jlist (List.rev !jrows));
+         ("reports_identical_across_jobs", jb (List.for_all (fun (_, d) -> d = d1) !digests));
+         ( "ablation",
+           Jobj
+             [
+               ("workload_vars", ji nvars);
+               ("workload_ops", ji nops);
+               ("arena_s", jf arena_s);
+               ("pre_arena_s", jf ref_s);
+               ("speedup", jf (ref_s /. arena_s));
+               ("identical", jb (da = dr));
+             ] );
+         ("all_checks_passed", jb !ok);
+       ]);
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_scale.json@.";
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1047,4 +1349,6 @@ let () =
   if want "ablation" || want "micro" || want "solver" then solver_ablation ();
   if want "extensions" then extensions ();
   if want "micro" then micro ();
+  (* scale only when asked for by name: the corpus is a million lines *)
+  if List.mem "scale" args || List.mem "all" args then scale ();
   write_json ()

@@ -2,9 +2,11 @@
 
    Usage:
      cqualc file.c             monomorphic and polymorphic inference
+     cqualc a.c b.c main.c     a multi-file project, analyzed whole-program
      cqualc --mode mono file.c only one mode
      cqualc --positions file.c per-position verdicts
      cqualc --bench NAME       run on an embedded/synthetic benchmark
+                               (including the multi-file scale corpora)
 
    Exit status: 0 clean (including degraded-but-recovered analyses),
    1 on type errors (incorrect const usage), 2 on usage errors, files
@@ -186,7 +188,7 @@ let rules_of_lattice_file path qual_override =
         Fmt.epr "%s@." m;
         exit 2)
 
-let main file bench mode positions taint flow insensitive stats budget jobs
+let main files bench mode positions taint flow insensitive stats budget jobs
     max_errors no_compact lattice qual dump_lattice =
   let rules =
     match lattice with
@@ -198,29 +200,45 @@ let main file bench mode positions taint flow insensitive stats budget jobs
     exit 0
   end;
   let name, src =
-    match (file, bench) with
-    | Some f, _ -> (f, read_file f)
-    | None, Some b -> (
+    match (files, bench) with
+    | [ f ], _ -> (f, read_file f)
+    | _ :: _ :: _, _ ->
+        (* multiple translation units: whole-program analysis by
+           concatenation, in command-line order *)
+        ( String.concat "+" files,
+          Driver.concat_sources (List.map (fun f -> (f, read_file f)) files)
+        )
+    | [], Some b -> (
         match List.assoc_opt b Cbench.Programs.all with
         | Some src -> (b, src)
+        | None when b = "miniproject" ->
+            (b, Driver.concat_sources Cbench.Programs.miniproject)
         | None -> (
-            match
-              List.find_opt
-                (fun (x : Cbench.Suite.bench) -> x.b_name = b)
-                Cbench.Suite.table1
-            with
+            let find l =
+              List.find_opt (fun (x : Cbench.Suite.bench) -> x.b_name = b) l
+            in
+            match find Cbench.Suite.table1 with
             | Some bb -> (b, Cbench.Suite.source_of bb)
-            | None ->
-                Fmt.epr
-                  "unknown benchmark %s; embedded: %a; synthetic: %a@." b
-                  Fmt.(list ~sep:comma string)
-                  (List.map fst Cbench.Programs.all)
-                  Fmt.(list ~sep:comma string)
-                  (List.map
-                     (fun (x : Cbench.Suite.bench) -> x.b_name)
-                     Cbench.Suite.table1);
-                exit 2))
-    | None, None ->
+            | None -> (
+                match
+                  find (Cbench.Suite.scale @ Cbench.Suite.scale_smoke)
+                with
+                | Some bb ->
+                    (b, Driver.concat_sources (Cbench.Suite.project_of bb))
+                | None ->
+                    Fmt.epr
+                      "unknown benchmark %s; embedded: %a, miniproject; \
+                       synthetic: %a@."
+                      b
+                      Fmt.(list ~sep:comma string)
+                      (List.map fst Cbench.Programs.all)
+                      Fmt.(list ~sep:comma string)
+                      (List.map
+                         (fun (x : Cbench.Suite.bench) -> x.b_name)
+                         (Cbench.Suite.table1 @ Cbench.Suite.scale
+                        @ Cbench.Suite.scale_smoke));
+                    exit 2)))
+    | [], None ->
         Fmt.epr "need a FILE or --bench NAME@.";
         exit 2
   in
@@ -260,8 +278,14 @@ let main file bench mode positions taint flow insensitive stats budget jobs
 
 open Cmdliner
 
-let file =
-  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"C source file")
+let files =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "C source file(s); several files are analyzed together as one \
+           program (whole-program analysis over the concatenated \
+           translation units)")
 
 let bench =
   Arg.(
@@ -399,7 +423,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cqualc" ~doc)
     Term.(
-      const main $ file $ bench $ mode $ positions $ taint $ flow $ insensitive
+      const main $ files $ bench $ mode $ positions $ taint $ flow $ insensitive
       $ stats $ budget $ jobs $ max_errors $ no_compact $ lattice $ qual
       $ dump_lattice)
 

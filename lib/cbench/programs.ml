@@ -367,3 +367,56 @@ let all =
     ("miniconf", miniconf);
     ("minilist", minilist);
   ]
+
+(** A hand-written three-unit project (shared header + two modules):
+    the smallest multi-file analysis target, used by the driver tests and
+    the CLI's multi-FILE examples. The header unit declares everything;
+    the modules call across the boundary in both directions (a two-file
+    mutual recursion). *)
+let miniproject : (string * string) list =
+  [
+    ( "proj_h.c",
+      {|/* shared header */
+int printf(const char *fmt, ...);
+int strlen(const char *s);
+char *g_name;
+int mod_a_depth(int n, char *s);
+int mod_b_probe(int n, char *s);
+char *mod_a_skip(char *s);
+int mod_b_hash(const char *s);
+|} );
+    ( "proj_a.c",
+      {|/* module a */
+char *mod_a_skip(char *s) {
+  while (*s == ' ') s++;
+  return s;
+}
+
+int mod_a_depth(int n, char *s) {
+  if (n <= 0) return *s;
+  return mod_b_probe(n - 1, s);
+}
+|} );
+    ( "proj_b.c",
+      {|/* module b */
+int mod_b_hash(const char *s) {
+  int h = 0;
+  while (*s) { h = h * 31 + *s; s++; }
+  return h;
+}
+
+int mod_b_probe(int n, char *s) {
+  char *t;
+  if (n <= 0) return mod_b_hash(s);
+  t = mod_a_skip(s);
+  return mod_a_depth(n - 1, t);
+}
+
+int main(int argc, char **argv) {
+  char buf[8];
+  buf[0] = 'x'; buf[1] = 0;
+  printf("%d\n", mod_a_depth(3, buf));
+  return 0;
+}
+|} );
+  ]

@@ -68,3 +68,37 @@ let small =
       b_seed = 43;
     };
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale corpora (multi-file projects)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** The million-line-push workloads: deterministic multi-file projects
+    with cross-file call graphs and mutual-recursion rings spanning every
+    file (see {!Gen.generate_project}). [scale] is what the [scale] bench
+    section and the CI scale-smoke job run; the line counts are targets —
+    the realized count is whatever the generator emits at or just above
+    the target. *)
+let scale =
+  [
+    {
+      b_name = "mega-project-sim";
+      b_description = "1M+ line multi-file project";
+      b_lines = 1_000_000;
+      b_seed = 0xA11;
+    };
+  ]
+
+(** The reduced scale corpus for CI smoke runs (~100 kloc). *)
+let scale_smoke =
+  [
+    {
+      b_name = "midi-project-sim";
+      b_description = "100 kloc multi-file project";
+      b_lines = 100_000;
+      b_seed = 0xA12;
+    };
+  ]
+
+let project_of (b : bench) : (string * string) list =
+  Gen.generate_project ~seed:b.b_seed ~target_lines:b.b_lines ()

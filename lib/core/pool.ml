@@ -17,6 +17,8 @@ type t = {
 
 let jobs t = t.jobs
 
+let cores_available () = Domain.recommended_domain_count ()
+
 let default_jobs () =
   match Sys.getenv_opt "TYPEQUAL_JOBS" with
   | Some s -> (

@@ -24,6 +24,11 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val cores_available : unit -> int
+(** [Domain.recommended_domain_count ()]: the parallelism the host can
+    actually deliver — recorded by the benchmarks next to per-job-count
+    timings so speedups are interpretable across machines *)
+
 val default_jobs : unit -> int
 (** the [TYPEQUAL_JOBS] environment variable if set to a positive
     integer, else [1] (parallelism is opt-in; serial stays the default) *)

@@ -1,191 +1,179 @@
-(** Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper) —
-    flat-arena implementation.
+(** Pre-arena reference solver: the records + [Hashtbl] implementation the
+    flat-arena {!Solver} replaced, kept in-tree verbatim as
 
-    The constraint system and algorithms are exactly those of the PR 5
-    solver (kept verbatim as {!Solver_ref}): masked atomic constraints
-    over a Birkhoff-encoded lattice, union-find with partial online cycle
-    elimination, insertion-time edge/bound dedup, incremental worklist
-    solving with a monotone error table, recorded constraint schemes with
-    renaming instantiation, and batched absorb for the parallel engine.
+    - the apples-to-apples ablation baseline for the [scale] benchmark
+      (same host, same op stream, both cores driven through the identical
+      public API), and
+    - the oracle for the arena parity property tests: both stores are
+      driven through identical operation sequences and must agree on every
+      counter, every solution bound and every error message, byte for
+      byte.
 
-    What changed is the {e representation} (DESIGN.md, "Flat-arena
-    solver"):
+    The only intended difference from the historical implementation is
+    that the dirty set remembers {e insertion order} and seeds the solve
+    worklists in that order (the historical code iterated a [Hashtbl],
+    whose bucket order is an implementation accident). The fixpoint,
+    the touched set and the error reports are seed-order independent; only
+    the [worklist_pops] counter is sensitive to it, and pinning the order
+    makes that counter comparable across solver implementations.
 
-    - Variable state (union-find parent/rank, constant bounds, current
-      least/greatest solution, adjacency heads) lives in dense [int]
-      columns indexed by the creation-order id. A [var] handle is a tiny
-      immutable record — id, name, uid, store back-pointer — shared with
-      atoms, schemes and error values, so the public interface is
-      unchanged.
-    - Adjacency is a linked {e edge arena}: per logical edge one succ cell
-      and one pred cell in the packed [ecells] arena, chained by the
-      cell's next slot with
-      prepend-to-head insertion, so enumeration order matches the old
-      list-prepend order cell for cell. Cycle collapse relinks cells
-      between chains without allocating.
-    - The [(src, dst, mask)] edge-dedup and [(rep, const, mask, side)]
-      bound-dedup tables are open-addressing int-keyed hash sets
-      ([Iset]) — no tuple allocation, no polymorphic hashing.
-    - The propagation worklist is an int ring buffer with a byte-array
-      in-queue mark; the dirty set is an insertion-ordered int stack with
-      a byte-array membership mark.
-    - [absorb] bulk-creates the batch's fresh variables in one tight loop
-      over the exported arena segment and replays atoms through the normal
-      entry points, so dedup and cycle collapse apply exactly as in a
-      serial run.
+    Everything below this header is the PR 5 solver. See {!Solver} for the
+    arena core and DESIGN.md ("Flat-arena solver") for the comparison.
 
-    Counter-for-counter and byte-for-byte, the observable behaviour
-    (solutions, error messages, {!stats}) matches {!Solver_ref}; the
-    parity property tests drive both stores through identical operation
-    sequences and diff everything. *)
+    ------------------------------------------------------------------
+
+    Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper).
+
+    After decomposing subtype constraints on qualified types structurally,
+    qualifier inference is left with {e atomic} constraints over the
+    qualifier lattice [L]:
+
+    - [kappa <= L] and [L <= kappa] (variable/constant bounds),
+    - [kappa1 <= kappa2] (variable/variable edges),
+    - [L1 <= L2] (ground, checked immediately).
+
+    This is an atomic subtyping system, solvable in linear time for a fixed
+    set of qualifiers (Henglein–Rehof); we use worklist-based join
+    propagation for the least solution and meet propagation over reversed
+    edges for the greatest solution. The solver also supports {e masked}
+    constraints that relate only a subset of the lattice coordinates; these
+    express per-qualifier side conditions such as the binding-time
+    well-formedness rule ("nothing dynamic inside a static value") without
+    touching the other qualifiers.
+
+    The pair (least, greatest) solution classifies every variable per
+    Section 4.4: a coordinate is {e forced up} (e.g. must-const) when the
+    least solution already has it, {e forced down} (must-not-const) when
+    even the greatest solution lacks it, and {e unconstrained} otherwise.
+
+    Performance architecture (see DESIGN.md, "Solver architecture"):
+
+    - Variables are union-find nodes. When [add_leq_vv] closes a cycle of
+      full-mask edges — detected online by a bounded path search, in the
+      style of partial online cycle elimination for inclusion constraints —
+      the strongly-connected component is unified into one representative,
+      merging bounds, edges and provenance. All members of an SCC share one
+      solution, so this is exact. Masked edges never trigger unification
+      (two variables related on a strict subset of coordinates may differ
+      on the rest).
+    - Edges are deduplicated on insertion, hash-keyed by
+      [(source, target, mask)] over representatives, so repeated scheme
+      instantiations against the same variables stop growing edge lists.
+    - Solving is incremental: a dirty set tracks representatives whose
+      bounds or incident edges changed since the last [solve]; worklists
+      seed from the dirty set, and [lo]/[hi] are updated monotonically
+      ([lo] only rises, [hi] only falls — sound because constraints are
+      only ever added). Violations are likewise monotone and accumulate in
+      a persistent error table exposed via {!last_errors}.
+
+    Polymorphism support: constraint sets can be captured while they are
+    generated ({!recording}) and later re-instantiated under a renaming of
+    their local variables ({!instantiate}), implementing the constrained
+    type schemes [forall k. rho \ C] of Section 3.2 (with the existential
+    binding of purely-local variables realized by renaming {e all} scheme
+    locals at each instantiation). Atoms store the original variables, not
+    representatives, so instantiation re-derives any unifications for the
+    fresh copies. *)
 
 module Elt = Lattice.Elt
 module Space = Lattice.Space
 
 type reason = string option
 
-(* ------------------------------------------------------------------ *)
-(* Open-addressing int-keyed hash set (4-int keys)                     *)
-(* ------------------------------------------------------------------ *)
-
-(* The dedup tables: linear probing over a power-of-two table, keys
-   stored inline in a flat [int array] (4 slots per entry), occupancy in
-   a byte array. Deterministic by construction (the hash mixes the key
-   ints only), so dedup decisions — which feed the [edges_deduped]
-   counter — are reproducible across runs and across solver cores. *)
-module Iset = struct
-  type t = {
-    mutable keys : int array;  (* 4 * cap *)
-    mutable state : Bytes.t;   (* cap bytes; '\001' = occupied *)
-    mutable cap : int;         (* power of two *)
-    mutable count : int;
-  }
-
-  let create ?(cap = 64) () =
-    { keys = Array.make (4 * cap) 0; state = Bytes.make cap '\000'; cap;
-      count = 0 }
-
-  let hash a b c d =
-    ((a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE35)
-     lxor (d * 0x27D4EB2F))
-    land max_int
-
-  (* membership test that inserts on miss; returns [true] iff the key was
-     already present *)
-  let rec mem_add s a b c d =
-    if 2 * s.count >= s.cap then grow s;
-    let m = s.cap - 1 in
-    let i = ref (hash a b c d land m) in
-    let r = ref (-1) in
-    while !r < 0 do
-      let j = !i in
-      if Bytes.unsafe_get s.state j = '\000' then begin
-        Bytes.unsafe_set s.state j '\001';
-        let k = 4 * j in
-        Array.unsafe_set s.keys k a;
-        Array.unsafe_set s.keys (k + 1) b;
-        Array.unsafe_set s.keys (k + 2) c;
-        Array.unsafe_set s.keys (k + 3) d;
-        s.count <- s.count + 1;
-        r := 0
-      end
-      else begin
-        let k = 4 * j in
-        if
-          Array.unsafe_get s.keys k = a
-          && Array.unsafe_get s.keys (k + 1) = b
-          && Array.unsafe_get s.keys (k + 2) = c
-          && Array.unsafe_get s.keys (k + 3) = d
-        then r := 1
-        else i := (j + 1) land m
-      end
-    done;
-    !r = 1
-
-  and grow s =
-    let ocap = s.cap and okeys = s.keys and ostate = s.state in
-    s.cap <- s.cap * 2;
-    s.keys <- Array.make (4 * s.cap) 0;
-    s.state <- Bytes.make s.cap '\000';
-    s.count <- 0;
-    for j = 0 to ocap - 1 do
-      if Bytes.unsafe_get ostate j = '\001' then begin
-        let k = 4 * j in
-        ignore
-          (mem_add s okeys.(k) okeys.(k + 1) okeys.(k + 2) okeys.(k + 3))
-      end
-    done
-end
-
-(* ------------------------------------------------------------------ *)
-(* Store layout                                                        *)
-(* ------------------------------------------------------------------ *)
-
 type var = {
-  id : int;  (* stable creation-order id; the arena index *)
+  id : int;
+      (* stable creation-order id; kept as the first field so structural
+         compare decides on it before reaching the cyclic [parent] *)
   vname : string;
   uid : int;
-      (* globally unique across stores (atomic counter); renaming maps
-         that can mix variables of two stores key on it *)
-  store : t;  (* back-pointer: lets [repr] resolve without a store arg *)
+      (* globally unique across stores (atomic counter). Renaming maps that
+         can mix variables of two stores — [instantiate] on an imported
+         scheme whose free variables were resolved to local mirrors — must
+         key on [uid]: per-store [id]s both count from 0 and collide. *)
+  mutable parent : var;  (* union-find: self iff representative *)
+  mutable rank : int;
+  mutable lo_bound : Elt.t;  (* join of constant lower bounds (embedded) *)
+  mutable hi_bound : Elt.t;  (* meet of constant upper bounds (embedded) *)
+  mutable lo : Elt.t;        (* least solution, valid after [solve] *)
+  mutable hi : Elt.t;        (* greatest solution, valid after [solve] *)
+  mutable succs : (var * int * reason) list;  (* v <= succ on mask *)
+  mutable preds : (var * int * reason) list;
+  mutable lo_reasons : (Elt.t * int * reason) list;  (* provenance *)
+  mutable hi_reasons : (Elt.t * int * reason) list;
 }
 
-and t = {
-  sp : Space.t;
+let rec find v =
+  if v.parent == v then v
+  else begin
+    let r = find v.parent in
+    v.parent <- r;
+    r
+  end
+
+let repr = find
+
+type atom =
+  | Avc of var * Elt.t * int * reason  (* var <= const on mask *)
+  | Acv of Elt.t * var * int * reason  (* const <= var on mask *)
+  | Avv of var * var * int * reason    (* var <= var on mask *)
+
+type error = {
+  err_var : var option;
+  err_msg : string;
+}
+
+type stats = {
+  vars_created : int;
+  vars_unified : int;
+  edges_added : int;
+  edges_deduped : int;
+  cycles_collapsed : int;
+  incr_solves : int;
+  full_solves : int;
+  worklist_pops : int;
+  solve_s : float;
+  absorb_s : float;
+  scheme_vars_before : int;  (* locals entering [compact], summed *)
+  scheme_vars_after : int;
+  scheme_edges_before : int;  (* constraint atoms entering [compact], summed *)
+  scheme_edges_after : int;
+  instantiations_memo_hits : int;
+  empty_batches_skipped : int;
+  heap_words : int;
+  top_heap_words : int;
+  cores_available : int;
+}
+
+type t = {
+  space : Space.t;
+  mutable vars : var list;  (* in reverse creation order, absorbed included *)
   mutable nvars : int;
-  (* variable columns, indexed by id; grown together *)
-  mutable objs : var array;  (* id -> the (unique) handle *)
-  mutable parent : int array;  (* union-find: self iff representative *)
-  mutable rank : int array;
-  mutable lo_bound : int array;  (* join of constant lower bounds *)
-  mutable hi_bound : int array;  (* meet of constant upper bounds *)
-  mutable lo : int array;  (* least solution, valid after [solve] *)
-  mutable hi : int array;  (* greatest solution *)
-  mutable succ_head : int array;  (* head cell of the succ chain, -1 end *)
-  mutable pred_head : int array;
-  mutable lo_reasons : (Elt.t * int * reason) list array;  (* provenance *)
-  mutable hi_reasons : (Elt.t * int * reason) list array;
-  (* edge arena: one cell per chain entry (two per logical edge) *)
-  mutable ecells : int array;
-      (* 3 ints per cell, adjacent: dst, mask, next — one cache line per
-         traversal step, the reason the chains beat pointer-chased lists *)
-  mutable e_reason : reason array;
-  mutable necells : int;
-  (* the atom log, insertion order *)
-  mutable log : atom array;
-  mutable nlog : int;
   mutable ground_errors : error list;
   errors : (int, error) Hashtbl.t;
-      (* persistent bound-violation table, keyed by the representative id
-         at detection time; monotone since constraints are only added *)
+      (* persistent bound-violation table, keyed by the id of the
+         representative at detection time; monotone since constraints are
+         only ever added *)
   mutable recorders : atom list ref list;
+  mutable log : atom list;
+      (* every atom ever added, original variables — replayed by
+         [naive_bounds] as an independent oracle *)
   mutable solved : bool;
-  (* dirty set: insertion-ordered stack + membership mark. Removal clears
-     the mark and leaves a stale stack entry; re-marking pushes again —
-     seeding filters on the mark, so semantics match a Hashtbl dirty set
-     with a separate insertion-order list. *)
-  mutable dirty_stack : int array;
-  mutable ndirty : int;
-  mutable dirty_mark : Bytes.t;
-  (* propagation worklist: int ring buffer with monotonic head/tail over
-     a power-of-two array, plus an in-queue byte mark *)
-  mutable wl : int array;
-  mutable wl_head : int;
-  mutable wl_tail : int;
-  mutable inq : Bytes.t;
-  (* representatives popped by the last propagate, in pop order *)
-  mutable touched : int array;
-  mutable ntouched : int;
-  mutable fp_stamp : int array;
-      (* generation-stamped seen-set for the cycle-detection DFS: a slot
-         equal to [fp_gen] means visited this call — no per-call allocation *)
-  mutable fp_gen : int;
-  edge_seen : Iset.t;  (* (src, dst, mask, 0) *)
-  bound_seen : Iset.t;
-      (* ((rep << 1) | is_upper, const, mask, 0): constant bounds already
-         applied to a representative *)
+  dirty : (int, var) Hashtbl.t;
+  mutable dirty_order : var list;
+      (* reverse insertion order of the dirty set (first marking only; an
+         entry removed and re-marked appears twice, with membership decided
+         by [dirty]) — seeds the solve worklists deterministically *)
+  edge_seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, mask) *)
+  bound_seen : (int * int * int * bool, unit) Hashtbl.t;
+      (* (rep, const, mask, is_upper): constant bounds already applied to a
+         representative, so repeated scheme instantiation against shared
+         variables stops growing provenance lists — the bound-side twin of
+         [edge_seen] *)
   cycle_elim : bool;
   mutable budget : Budget.t option;
+      (* optional resource guard: propagation stops early once it trips,
+         leaving partial (lo, hi) — callers must check Budget.exhausted
+         and treat classifications as degraded *)
   mutable s_unified : int;
   mutable s_edges : int;
   mutable s_dedup : int;
@@ -203,75 +191,20 @@ and t = {
   mutable s_skipped_batches : int;
 }
 
-and atom =
-  | Avc of var * Elt.t * int * reason  (* var <= const on mask *)
-  | Acv of Elt.t * var * int * reason  (* const <= var on mask *)
-  | Avv of var * var * int * reason    (* var <= var on mask *)
-
-and error = {
-  err_var : var option;
-  err_msg : string;
-}
-
-type stats = {
-  vars_created : int;
-  vars_unified : int;
-  edges_added : int;
-  edges_deduped : int;
-  cycles_collapsed : int;
-  incr_solves : int;
-  full_solves : int;
-  worklist_pops : int;
-  solve_s : float;
-  absorb_s : float;
-  scheme_vars_before : int;
-  scheme_vars_after : int;
-  scheme_edges_before : int;
-  scheme_edges_after : int;
-  instantiations_memo_hits : int;
-  empty_batches_skipped : int;
-  heap_words : int;
-  top_heap_words : int;
-  cores_available : int;
-}
-
 let create ?(cycle_elim = true) space =
   {
-    sp = space;
+    space;
+    vars = [];
     nvars = 0;
-    objs = [||];
-    parent = [||];
-    rank = [||];
-    lo_bound = [||];
-    hi_bound = [||];
-    lo = [||];
-    hi = [||];
-    succ_head = [||];
-    pred_head = [||];
-    lo_reasons = [||];
-    hi_reasons = [||];
-    ecells = [||];
-    e_reason = [||];
-    necells = 0;
-    log = [||];
-    nlog = 0;
     ground_errors = [];
     errors = Hashtbl.create 16;
     recorders = [];
+    log = [];
     solved = false;
-    dirty_stack = Array.make 64 0;
-    ndirty = 0;
-    dirty_mark = Bytes.create 0;
-    wl = Array.make 64 0;
-    wl_head = 0;
-    wl_tail = 0;
-    inq = Bytes.create 0;
-    touched = Array.make 64 0;
-    fp_stamp = [||];
-    fp_gen = 0;
-    ntouched = 0;
-    edge_seen = Iset.create ~cap:256 ();
-    bound_seen = Iset.create ~cap:256 ();
+    dirty = Hashtbl.create 64;
+    dirty_order = [];
+    edge_seen = Hashtbl.create 256;
+    bound_seen = Hashtbl.create 256;
     cycle_elim;
     budget = None;
     s_unified = 0;
@@ -291,7 +224,7 @@ let create ?(cycle_elim = true) space =
     s_skipped_batches = 0;
   }
 
-let space t = t.sp
+let space t = t.space
 let num_vars t = t.nvars
 let set_budget t b = t.budget <- b
 
@@ -321,6 +254,10 @@ let stats t =
     cores_available = Domain.recommended_domain_count ();
   }
 
+(* Fold compaction/memo counters accrued in a worker-private store into the
+   shared store, so `--stats` totals cover parallel runs. Only the additive
+   bookkeeping counters transfer; everything else (vars, edges, solve
+   times) already flows through the batch absorb path. *)
 let merge_aux_stats t (s : stats) =
   t.s_sv_before <- t.s_sv_before + s.scheme_vars_before;
   t.s_sv_after <- t.s_sv_after + s.scheme_vars_after;
@@ -345,78 +282,29 @@ let pp_stats ppf s =
   Fmt.pf ppf "; heap %d words (peak %d), %d cores" s.heap_words
     s.top_heap_words s.cores_available
 
-(* ------------------------------------------------------------------ *)
-(* Arena growth and variable creation                                  *)
-(* ------------------------------------------------------------------ *)
-
-let grow_int a cap' =
-  let b = Array.make cap' 0 in
-  Array.blit a 0 b 0 (Array.length a);
-  b
-
-let grow_bytes a cap' =
-  let b = Bytes.make cap' '\000' in
-  Bytes.blit a 0 b 0 (Bytes.length a);
-  b
-
-(* grow every per-variable column to hold id [t.nvars]; [v] supplies the
-   fill value for [objs] (an empty store has no var to fabricate one) *)
-let ensure_var_capacity t v =
-  let cap = Array.length t.parent in
-  if t.nvars >= cap then begin
-    let cap' = if cap = 0 then 64 else cap * 2 in
-    t.parent <- grow_int t.parent cap';
-    t.rank <- grow_int t.rank cap';
-    t.lo_bound <- grow_int t.lo_bound cap';
-    t.hi_bound <- grow_int t.hi_bound cap';
-    t.lo <- grow_int t.lo cap';
-    t.hi <- grow_int t.hi cap';
-    t.succ_head <- grow_int t.succ_head cap';
-    t.pred_head <- grow_int t.pred_head cap';
-    (let b = Array.make cap' v in
-     Array.blit t.objs 0 b 0 cap;
-     t.objs <- b);
-    (let b = Array.make cap' [] in
-     Array.blit t.lo_reasons 0 b 0 cap;
-     t.lo_reasons <- b);
-    (let b = Array.make cap' [] in
-     Array.blit t.hi_reasons 0 b 0 cap;
-     t.hi_reasons <- b);
-    t.dirty_mark <- grow_bytes t.dirty_mark cap';
-    t.inq <- grow_bytes t.inq cap';
-    t.fp_stamp <- grow_int t.fp_stamp cap'
-  end
-
-let ensure_edge_capacity t =
-  let cap = Array.length t.e_reason in
-  if t.necells >= cap then begin
-    let cap' = if cap = 0 then 256 else cap * 2 in
-    t.ecells <- grow_int t.ecells (3 * cap');
-    let b = Array.make cap' None in
-    Array.blit t.e_reason 0 b 0 cap;
-    t.e_reason <- b
-  end
-
 let uid_counter = Atomic.make 0
 
 let fresh ?(name = "q") t =
-  let id = t.nvars in
-  let v =
-    { id; vname = name; uid = Atomic.fetch_and_add uid_counter 1; store = t }
+  let sp = t.space in
+  let rec v =
+    {
+      id = t.nvars;
+      vname = name;
+      uid = Atomic.fetch_and_add uid_counter 1;
+      parent = v;
+      rank = 0;
+      lo_bound = Elt.bottom sp;
+      hi_bound = Elt.top sp;
+      lo = Elt.bottom sp;
+      hi = Elt.top sp;
+      succs = [];
+      preds = [];
+      lo_reasons = [];
+      hi_reasons = [];
+    }
   in
-  ensure_var_capacity t v;
-  t.objs.(id) <- v;
-  t.parent.(id) <- id;
-  t.rank.(id) <- 0;
-  t.lo_bound.(id) <- Elt.bottom t.sp;
-  t.hi_bound.(id) <- Elt.top t.sp;
-  t.lo.(id) <- Elt.bottom t.sp;
-  t.hi.(id) <- Elt.top t.sp;
-  t.succ_head.(id) <- -1;
-  t.pred_head.(id) <- -1;
-  t.lo_reasons.(id) <- [];
-  t.hi_reasons.(id) <- [];
-  t.nvars <- id + 1;
+  t.nvars <- t.nvars + 1;
+  t.vars <- v :: t.vars;
   Option.iter Budget.note_var t.budget;
   (* a fresh variable has no constraints: its current (lo, hi) is already
      its solution, so [solved] and the dirty set are untouched *)
@@ -427,205 +315,141 @@ let var_uid v = v.uid
 let var_name v = v.vname
 let pp_var ppf v = Fmt.pf ppf "%s#%d" v.vname v.id
 
-(* union-find over the parent column, with path compression *)
-let rec find_id t i =
-  let p = Array.unsafe_get t.parent i in
-  if p = i then i
-  else begin
-    let r = find_id t p in
-    Array.unsafe_set t.parent i r;
-    r
-  end
-
-let repr v =
-  let t = v.store in
-  t.objs.(find_id t v.id)
-
 let record t atom = List.iter (fun r -> r := atom :: !r) t.recorders
 
 let log_atom t atom =
   record t atom;
-  let cap = Array.length t.log in
-  if t.nlog >= cap then begin
-    let cap' = if cap = 0 then 256 else cap * 2 in
-    let b = Array.make cap' atom in
-    Array.blit t.log 0 b 0 cap;
-    t.log <- b
-  end;
-  t.log.(t.nlog) <- atom;
-  t.nlog <- t.nlog + 1
+  t.log <- atom :: t.log
 
-let mark_dirty t i =
-  if Bytes.unsafe_get t.dirty_mark i = '\000' then begin
-    Bytes.unsafe_set t.dirty_mark i '\001';
-    let cap = Array.length t.dirty_stack in
-    if t.ndirty >= cap then t.dirty_stack <- grow_int t.dirty_stack (cap * 2);
-    t.dirty_stack.(t.ndirty) <- i;
-    t.ndirty <- t.ndirty + 1
-  end
-
-let dirty_remove t i = Bytes.unsafe_set t.dirty_mark i '\000'
-
-let dirty_reset t =
-  for k = 0 to t.ndirty - 1 do
-    Bytes.unsafe_set t.dirty_mark t.dirty_stack.(k) '\000'
-  done;
-  t.ndirty <- 0
-
-(* ------------------------------------------------------------------ *)
-(* Adding constraints                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let new_cell t dst mask reason next =
-  ensure_edge_capacity t;
-  let e = t.necells in
-  let b = 3 * e in
-  t.ecells.(b) <- dst;
-  t.ecells.(b + 1) <- mask;
-  t.ecells.(b + 2) <- next;
-  t.e_reason.(e) <- reason;
-  t.necells <- e + 1;
-  e
+let mark_dirty t v =
+  if not (Hashtbl.mem t.dirty v.id) then t.dirty_order <- v :: t.dirty_order;
+  Hashtbl.replace t.dirty v.id v
 
 (* var <= const, restricted to the coordinates in [mask]. Constant bounds
    are deduplicated on insertion like edges: a repeated instantiation that
    re-derives an identical bound on the same representative is counted as
    deduped and adds nothing — in particular no provenance entry, so
-   [hi_reasons] stops growing with the instantiation count. The dedup key
-   packs the side flag into the representative id's low bit. *)
+   [hi_reasons] stops growing with the instantiation count. *)
 let add_leq_vc ?reason ?mask t v c =
-  let mask = Option.value mask ~default:(Elt.full_mask t.sp) in
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
   log_atom t (Avc (v, c, mask, reason));
-  let r = find_id t v.id in
-  if Iset.mem_add t.bound_seen ((r lsl 1) lor 1) c mask 0 then
-    t.s_dedup <- t.s_dedup + 1
+  let r = find v in
+  let k = (r.id, (c : Elt.t), mask, true) in
+  if Hashtbl.mem t.bound_seen k then t.s_dedup <- t.s_dedup + 1
   else begin
-    t.hi_reasons.(r) <- (c, mask, reason) :: t.hi_reasons.(r);
-    let hb' = Elt.meet t.sp t.hi_bound.(r) (Elt.embed_top t.sp ~mask c) in
-    if hb' <> t.hi_bound.(r) then begin
-      t.hi_bound.(r) <- hb';
-      t.hi.(r) <- Elt.meet t.sp t.hi.(r) hb';
+    Hashtbl.add t.bound_seen k ();
+    r.hi_reasons <- (c, mask, reason) :: r.hi_reasons;
+    let hb' = Elt.meet t.space r.hi_bound (Elt.embed_top t.space ~mask c) in
+    if not (Elt.equal hb' r.hi_bound) then begin
+      r.hi_bound <- hb';
+      r.hi <- Elt.meet t.space r.hi hb';
       t.solved <- false;
       mark_dirty t r
     end
   end
 
-(* const <= var, restricted to [mask]. Dual of [add_leq_vc]. *)
+(* const <= var, restricted to [mask]. Dual of [add_leq_vc], including the
+   bound dedup. *)
 let add_leq_cv ?reason ?mask t c v =
-  let mask = Option.value mask ~default:(Elt.full_mask t.sp) in
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
   log_atom t (Acv (c, v, mask, reason));
-  let r = find_id t v.id in
-  if Iset.mem_add t.bound_seen ((r lsl 1) lor 0) c mask 0 then
-    t.s_dedup <- t.s_dedup + 1
+  let r = find v in
+  let k = (r.id, (c : Elt.t), mask, false) in
+  if Hashtbl.mem t.bound_seen k then t.s_dedup <- t.s_dedup + 1
   else begin
-    t.lo_reasons.(r) <- (c, mask, reason) :: t.lo_reasons.(r);
-    let lb' = Elt.join t.sp t.lo_bound.(r) (Elt.embed_bottom t.sp ~mask c) in
-    if lb' <> t.lo_bound.(r) then begin
-      t.lo_bound.(r) <- lb';
-      t.lo.(r) <- Elt.join t.sp t.lo.(r) lb';
+    Hashtbl.add t.bound_seen k ();
+    r.lo_reasons <- (c, mask, reason) :: r.lo_reasons;
+    let lb' = Elt.join t.space r.lo_bound (Elt.embed_bottom t.space ~mask c) in
+    if not (Elt.equal lb' r.lo_bound) then begin
+      r.lo_bound <- lb';
+      r.lo <- Elt.join t.space r.lo lb';
       t.solved <- false;
       mark_dirty t r
     end
   end
 
 (* Merge representative [o] into representative [r] (rank order decided by
-   the caller): bounds join/meet, provenance concatenates, and [o]'s edge
-   cells are {e relinked} into [r]'s chains — no allocation — with
-   self-loops dropped and duplicates skipped. Cells left behind (dropped
-   self-loops/duplicates) simply go dead in the arena. Stale cells naming
-   [o] as a destination in other chains stay; traversal resolves every
-   endpoint through [find_id]. *)
-let absorb_id t r o =
-  let sp = t.sp in
-  t.parent.(o) <- r;
-  t.lo_bound.(r) <- Elt.join sp t.lo_bound.(r) t.lo_bound.(o);
-  t.hi_bound.(r) <- Elt.meet sp t.hi_bound.(r) t.hi_bound.(o);
-  t.lo.(r) <- Elt.join sp t.lo.(r) t.lo.(o);
-  t.hi.(r) <- Elt.meet sp t.hi.(r) t.hi.(o);
-  t.lo_reasons.(r) <- List.rev_append t.lo_reasons.(o) t.lo_reasons.(r);
-  t.hi_reasons.(r) <- List.rev_append t.hi_reasons.(o) t.hi_reasons.(r);
-  t.lo_reasons.(o) <- [];
-  t.hi_reasons.(o) <- [];
-  let e = ref t.succ_head.(o) in
-  t.succ_head.(o) <- -1;
-  while !e >= 0 do
-    let cell = !e in
-    let b = 3 * cell in
-    e := t.ecells.(b + 2);
-    let s = find_id t t.ecells.(b) in
-    if s <> r then begin
-      if Iset.mem_add t.edge_seen r s t.ecells.(b + 1) 0 then
-        t.s_dedup <- t.s_dedup + 1
-      else begin
-        t.ecells.(b) <- s;
-        t.ecells.(b + 2) <- t.succ_head.(r);
-        t.succ_head.(r) <- cell
-      end
-    end
-  done;
-  let e = ref t.pred_head.(o) in
-  t.pred_head.(o) <- -1;
-  while !e >= 0 do
-    let cell = !e in
-    let b = 3 * cell in
-    e := t.ecells.(b + 2);
-    let p = find_id t t.ecells.(b) in
-    if p <> r then begin
-      if Iset.mem_add t.edge_seen p r t.ecells.(b + 1) 0 then
-        t.s_dedup <- t.s_dedup + 1
-      else begin
-        t.ecells.(b) <- p;
-        t.ecells.(b + 2) <- t.pred_head.(r);
-        t.pred_head.(r) <- cell
-      end
-    end
-  done;
+   the caller): bounds join/meet, provenance concatenates, and [o]'s edges
+   migrate to [r] with self-loops dropped and duplicates skipped. Stale
+   entries naming [o] in {e other} variables' lists are left in place —
+   propagation resolves every edge endpoint through [find]. *)
+let absorb_var t r o =
+  let sp = t.space in
+  o.parent <- r;
+  r.lo_bound <- Elt.join sp r.lo_bound o.lo_bound;
+  r.hi_bound <- Elt.meet sp r.hi_bound o.hi_bound;
+  r.lo <- Elt.join sp r.lo o.lo;
+  r.hi <- Elt.meet sp r.hi o.hi;
+  r.lo_reasons <- List.rev_append o.lo_reasons r.lo_reasons;
+  r.hi_reasons <- List.rev_append o.hi_reasons r.hi_reasons;
+  List.iter
+    (fun (s, m, reason) ->
+      let s = find s in
+      if s != r then begin
+        let k = (r.id, s.id, m) in
+        if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
+        else begin
+          Hashtbl.add t.edge_seen k ();
+          r.succs <- (s, m, reason) :: r.succs
+        end
+      end)
+    o.succs;
+  List.iter
+    (fun (p, m, reason) ->
+      let p = find p in
+      if p != r then begin
+        let k = (p.id, r.id, m) in
+        if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
+        else begin
+          Hashtbl.add t.edge_seen k ();
+          r.preds <- (p, m, reason) :: r.preds
+        end
+      end)
+    o.preds;
+  o.succs <- [];
+  o.preds <- [];
   t.s_unified <- t.s_unified + 1;
-  dirty_remove t o;
+  Hashtbl.remove t.dirty o.id;
   mark_dirty t r
 
-let union_id t a b =
-  let a = find_id t a and b = find_id t b in
-  if a = b then a
+let union t a b =
+  let a = find a and b = find b in
+  if a == b then a
   else begin
-    let r, o = if t.rank.(a) >= t.rank.(b) then (a, b) else (b, a) in
-    if t.rank.(r) = t.rank.(o) then t.rank.(r) <- t.rank.(r) + 1;
-    absorb_id t r o;
+    let r, o = if a.rank >= b.rank then (a, b) else (b, a) in
+    if r.rank = o.rank then r.rank <- r.rank + 1;
+    absorb_var t r o;
     r
   end
 
 (* Bounded DFS over full-mask edges from [src] looking for [dst]; returns
-   the path of representative ids (src first, dst last). The budget bounds
+   the path of representatives (src first, dst last). The budget bounds
    total edge traversals, keeping cycle detection cheap on large graphs —
    partial online cycle elimination: missing a long cycle only costs
    propagation work, never soundness. *)
 let cycle_budget = 64
 
 let find_path t src dst =
-  let full = Elt.full_mask t.sp in
-  t.fp_gen <- t.fp_gen + 1;
-  let gen = t.fp_gen in
+  let full = Elt.full_mask t.space in
+  let seen = Hashtbl.create 16 in
   let steps = ref 0 in
   let rec go v =
-    let v = find_id t v in
-    if v = dst then Some [ v ]
-    else if Array.unsafe_get t.fp_stamp v = gen || !steps >= cycle_budget
-    then None
+    let v = find v in
+    if v == dst then Some [ v ]
+    else if Hashtbl.mem seen v.id || !steps >= cycle_budget then None
     else begin
-      Array.unsafe_set t.fp_stamp v gen;
-      let rec try_edges e =
-        if e < 0 then None
-        else begin
-          incr steps;
-          let b = 3 * e in
-          if Array.unsafe_get t.ecells (b + 1) land full = full then (
-            match go (Array.unsafe_get t.ecells b) with
-            | Some p -> Some (v :: p)
-            | None -> try_edges (Array.unsafe_get t.ecells (b + 2)))
-          else try_edges (Array.unsafe_get t.ecells (b + 2))
-        end
+      Hashtbl.add seen v.id ();
+      let rec try_edges = function
+        | [] -> None
+        | (s, m, _) :: rest ->
+            incr steps;
+            if m land full = full then (
+              match go s with
+              | Some p -> Some (v :: p)
+              | None -> try_edges rest)
+            else try_edges rest
       in
-      try_edges t.succ_head.(v)
+      try_edges v.succs
     end
   in
   go src
@@ -638,27 +462,28 @@ let try_collapse t ra rb =
   | None | Some [] -> ()
   | Some (first :: rest) ->
       t.s_cycles <- t.s_cycles + 1;
-      ignore (List.fold_left (fun acc v -> union_id t acc v) first rest)
+      ignore (List.fold_left (fun acc v -> union t acc v) first rest)
 
 (* var <= var, restricted to [mask]. *)
 let add_leq_vv ?reason ?mask t a b =
   if a != b then begin
-    let mask = Option.value mask ~default:(Elt.full_mask t.sp) in
+    let mask = Option.value mask ~default:(Elt.full_mask t.space) in
     log_atom t (Avv (a, b, mask, reason));
-    let ra = find_id t a.id and rb = find_id t b.id in
-    if ra <> rb then begin
-      if Iset.mem_add t.edge_seen ra rb mask 0 then
-        t.s_dedup <- t.s_dedup + 1
+    let ra = find a and rb = find b in
+    if ra != rb then begin
+      let k = (ra.id, rb.id, mask) in
+      if Hashtbl.mem t.edge_seen k then t.s_dedup <- t.s_dedup + 1
         (* the identical edge already exists between these representatives:
            the system is unchanged, [solved] stays valid *)
       else begin
+        Hashtbl.add t.edge_seen k ();
         t.s_edges <- t.s_edges + 1;
-        t.succ_head.(ra) <- new_cell t rb mask reason t.succ_head.(ra);
-        t.pred_head.(rb) <- new_cell t ra mask reason t.pred_head.(rb);
+        ra.succs <- (rb, mask, reason) :: ra.succs;
+        rb.preds <- (ra, mask, reason) :: rb.preds;
         t.solved <- false;
         mark_dirty t ra;
         mark_dirty t rb;
-        if t.cycle_elim && Elt.is_full_mask t.sp mask then
+        if t.cycle_elim && Elt.is_full_mask t.space mask then
           try_collapse t ra rb
       end
     end
@@ -666,14 +491,14 @@ let add_leq_vv ?reason ?mask t a b =
 
 (* Ground constraint const <= const: checked immediately (mask-restricted). *)
 let add_leq_cc ?reason ?mask t c1 c2 =
-  let mask = Option.value mask ~default:(Elt.full_mask t.sp) in
-  if not (Elt.leq_masked t.sp ~mask c1 c2) then
+  let mask = Option.value mask ~default:(Elt.full_mask t.space) in
+  if not (Elt.leq_masked t.space ~mask c1 c2) then
     t.ground_errors <-
       {
         err_var = None;
         err_msg =
           Fmt.str "unsatisfiable ground constraint %a <= %a%a"
-            (Elt.pp_full t.sp) c1 (Elt.pp_full t.sp) c2
+            (Elt.pp_full t.space) c1 (Elt.pp_full t.space) c2
             Fmt.(option (any " (" ++ string ++ any ")"))
             reason;
       }
@@ -693,188 +518,131 @@ let add_eq_vc ?reason ?mask t v c =
 (* Solving                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* ring-buffer worklist: head/tail are monotonic, indices wrap with a
-   power-of-two mask; the [inq] byte per variable dedups pushes *)
-let wl_push t i =
-  if Bytes.unsafe_get t.inq i = '\000' then begin
-    Bytes.unsafe_set t.inq i '\001';
-    let cap = Array.length t.wl in
-    if t.wl_tail - t.wl_head = cap then begin
-      (* full: double, copying the live region in queue order *)
-      let cap' = cap * 2 in
-      let w = Array.make cap' 0 in
-      for k = 0 to cap - 1 do
-        w.(k) <- t.wl.((t.wl_head + k) land (cap - 1))
-      done;
-      t.wl <- w;
-      t.wl_head <- 0;
-      t.wl_tail <- cap
-    end;
-    Array.unsafe_set t.wl (t.wl_tail land (Array.length t.wl - 1)) i;
-    t.wl_tail <- t.wl_tail + 1
-  end
-
-let wl_pop t =
-  let i = Array.unsafe_get t.wl (t.wl_head land (Array.length t.wl - 1)) in
-  t.wl_head <- t.wl_head + 1;
-  Bytes.unsafe_set t.inq i '\000';
-  i
-
-(* drain without processing, clearing the in-queue marks (a tripped budget
-   leaves entries behind; the marks are persistent state and must not leak
-   into the next pass) *)
-let wl_reset t =
-  let m = Array.length t.wl - 1 in
-  for k = t.wl_head to t.wl_tail - 1 do
-    Bytes.unsafe_set t.inq t.wl.(k land m) '\000'
-  done;
-  t.wl_head <- 0;
-  t.wl_tail <- 0
-
-let touched_push t i =
-  let cap = Array.length t.touched in
-  if t.ntouched >= cap then t.touched <- grow_int t.touched (cap * 2);
-  Array.unsafe_set t.touched t.ntouched i;
-  t.ntouched <- t.ntouched + 1
-
 (* One worklist pass. [seed] supplies the initial frontier; propagation
    pushes [lo] joins along forward edges and [hi] meets along reversed
-   edges. The lattice operations are inlined bit operations (join = lor,
-   meet = land, embed_bottom = mask off, embed_top = mask off + fill the
-   complement with top): this loop is the hot core of the solver and must
-   not allocate. Every popped representative is appended to [touched] so
-   the caller can re-check bound violations on exactly the affected
-   region. *)
-let propagate t ~seed =
-  let top = Elt.top t.sp in
-  t.ntouched <- 0;
-  let push i = wl_push t (find_id t i) in
+   edges. Every popped representative is appended to [touched] so the
+   caller can re-check bound violations on exactly the affected region. *)
+let propagate t ~seed ~touched =
+  let sp = t.space in
+  let queue = Queue.create () in
+  let inq = Hashtbl.create 64 in
+  let push v =
+    let v = find v in
+    if not (Hashtbl.mem inq v.id) then begin
+      Hashtbl.add inq v.id ();
+      Queue.push v queue
+    end
+  in
   (* A tripped budget drains the worklists without propagating: (lo, hi)
      are left partial, which is why budgeted runs are reported degraded
      and classified conservatively by the caller. *)
   (* least pass *)
   seed push;
-  while t.wl_head < t.wl_tail && not (budget_tripped t) do
-    let v = wl_pop t in
+  while (not (Queue.is_empty queue)) && not (budget_tripped t) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
     t.s_pops <- t.s_pops + 1;
     Option.iter Budget.note_pop t.budget;
-    touched_push t v;
-    let lov = Array.unsafe_get t.lo v in
-    let e = ref (Array.unsafe_get t.succ_head v) in
-    while !e >= 0 do
-      let b = 3 * !e in
-      e := Array.unsafe_get t.ecells (b + 2);
-      let d = Array.unsafe_get t.ecells b in
-      let s = if Array.unsafe_get t.parent d = d then d else find_id t d in
-      if s <> v then begin
-        let los = Array.unsafe_get t.lo s in
-        let lo' = los lor (lov land Array.unsafe_get t.ecells (b + 1)) in
-        if lo' <> los then begin
-          Array.unsafe_set t.lo s lo';
-          wl_push t s
-        end
-      end
-    done
+    touched := v :: !touched;
+    List.iter
+      (fun (s, mask, _) ->
+        let s = find s in
+        if s != v then begin
+          let contrib = Elt.embed_bottom sp ~mask v.lo in
+          let lo' = Elt.join sp s.lo contrib in
+          if not (Elt.equal lo' s.lo) then begin
+            s.lo <- lo';
+            push s
+          end
+        end)
+      v.succs
   done;
-  wl_reset t;
+  Queue.clear queue;
+  Hashtbl.reset inq;
   (* greatest pass: dual, meets along reversed edges *)
   seed push;
-  while t.wl_head < t.wl_tail && not (budget_tripped t) do
-    let v = wl_pop t in
+  while (not (Queue.is_empty queue)) && not (budget_tripped t) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
     t.s_pops <- t.s_pops + 1;
     Option.iter Budget.note_pop t.budget;
-    touched_push t v;
-    let hiv = Array.unsafe_get t.hi v in
-    let e = ref (Array.unsafe_get t.pred_head v) in
-    while !e >= 0 do
-      let b = 3 * !e in
-      e := Array.unsafe_get t.ecells (b + 2);
-      let d = Array.unsafe_get t.ecells b in
-      let p = if Array.unsafe_get t.parent d = d then d else find_id t d in
-      if p <> v then begin
-        let m = Array.unsafe_get t.ecells (b + 1) in
-        let hip = Array.unsafe_get t.hi p in
-        let hi' = hip land ((hiv land m) lor (top land lnot m)) in
-        if hi' <> hip then begin
-          Array.unsafe_set t.hi p hi';
-          wl_push t p
-        end
-      end
-    done
-  done;
-  wl_reset t
+    touched := v :: !touched;
+    List.iter
+      (fun (p, mask, _) ->
+        let p = find p in
+        if p != v then begin
+          let contrib = Elt.embed_top sp ~mask v.hi in
+          let hi' = Elt.meet sp p.hi contrib in
+          if not (Elt.equal hi' p.hi) then begin
+            p.hi <- hi';
+            push p
+          end
+        end)
+      v.preds
+  done
 
 (* Explain why [v]'s least solution violates its upper bound: find the
    offending coordinate, then walk backwards (BFS over a queue) to a
    constant lower bound that raised it. *)
 let explain t v =
-  let vi = find_id t v.id in
-  let sp = t.sp in
+  let v = find v in
+  let sp = t.space in
   let bad = ref None in
   for i = 0 to Space.size sp - 1 do
     if !bad = None then begin
       let mask = Elt.singleton_mask sp i in
-      if not (Elt.leq_masked sp ~mask t.lo.(vi) t.hi_bound.(vi)) then
-        bad := Some i
+      if not (Elt.leq_masked sp ~mask v.lo v.hi_bound) then bad := Some i
     end
   done;
   match !bad with
-  | None -> Fmt.str "%a: bound violation" pp_var t.objs.(vi)
+  | None -> Fmt.str "%a: bound violation" pp_var v
   | Some i ->
       let q = Space.qual sp i in
       let mask = Elt.singleton_mask sp i in
       (* the value of coordinate i that lo carries *)
       let coord_of x = x land mask in
-      let target = coord_of t.lo.(vi) in
+      let target = coord_of v.lo in
       (* BFS backwards for a var whose own constant lower bounds produce
          [target] on coordinate i *)
       let seen = Hashtbl.create 16 in
       let frontier = Queue.create () in
-      Queue.push vi frontier;
+      Queue.push v frontier;
       let found = ref None in
       while Option.is_none !found && not (Queue.is_empty frontier) do
         let u = Queue.pop frontier in
-        if not (Hashtbl.mem seen u) then begin
-          Hashtbl.add seen u ();
-          if coord_of t.lo_bound.(u) = target && coord_of t.lo.(u) = target
-          then
+        if not (Hashtbl.mem seen u.id) then begin
+          Hashtbl.add seen u.id ();
+          if coord_of u.lo_bound = target && coord_of u.lo = target then
             let reason =
               List.find_map
                 (fun (c, m, r) ->
                   if m land mask <> 0 && coord_of c = target then
                     Some (Option.value r ~default:"constant bound")
                   else None)
-                t.lo_reasons.(u)
+                u.lo_reasons
             in
-            found :=
-              Some (u, Option.value reason ~default:"constant bound")
-          else begin
-            let e = ref t.pred_head.(u) in
-            while !e >= 0 do
-              let cell = !e in
-              let b = 3 * cell in
-              e := t.ecells.(b + 2);
-              let p = find_id t t.ecells.(b) in
-              if t.ecells.(b + 1) land mask <> 0 && coord_of t.lo.(p) = target
-              then Queue.push p frontier
-            done
-          end
+            found := Some (u, Option.value reason ~default:"constant bound")
+          else
+            List.iter
+              (fun (p, m, _) ->
+                let p = find p in
+                if m land mask <> 0 && coord_of p.lo = target then
+                  Queue.push p frontier)
+              u.preds
         end
       done;
       let origin =
         match !found with
-        | Some (u, r) -> Fmt.str "; forced at %a (%s)" pp_var t.objs.(u) r
+        | Some (u, r) -> Fmt.str "; forced at %a (%s)" pp_var u r
         | None -> ""
       in
       let bound_reason =
         List.find_map
           (fun (_, m, r) ->
-            if
-              m land mask <> 0
-              && not (Elt.leq_masked sp ~mask t.lo.(vi) t.hi_bound.(vi))
+            if m land mask <> 0 && not (Elt.leq_masked sp ~mask v.lo v.hi_bound)
             then r
             else None)
-          t.hi_reasons.(vi)
+          v.hi_reasons
       in
       (* Ordered coordinates name the violating levels; classic two-point
          coordinates keep the historical message byte-for-byte. *)
@@ -883,11 +651,11 @@ let explain t v =
         | None -> ""
         | Some _ ->
             Fmt.str ": level %s exceeds bound %s"
-              (Elt.level_name sp i t.lo.(vi))
-              (Elt.level_name sp i t.hi_bound.(vi))
+              (Elt.level_name sp i v.lo)
+              (Elt.level_name sp i v.hi_bound)
       in
-      Fmt.str "qualifier %a of %a violates an upper bound%s%a%s" Qualifier.pp
-        q pp_var t.objs.(vi) levels
+      Fmt.str "qualifier %a of %a violates an upper bound%s%a%s" Qualifier.pp q
+        pp_var v levels
         Fmt.(option (any " (" ++ string ++ any ")"))
         bound_reason origin
 
@@ -902,23 +670,19 @@ let last_errors t =
   in
   List.rev_append t.ground_errors var_errs
 
-(* Record a violation for every representative popped by the last
-   propagate whose least solution escapes its constant upper bound.
-   Violations are monotone (constraints are only added; [lo] only rises,
-   [hi_bound] only falls), so entries never need revisiting. [explain]
-   runs only here, after propagation has reached fixpoint, so it sees
-   final [lo] values. Iterates in reverse pop order, matching the
-   reference solver's touched-list order. *)
-let check_violations t =
-  for k = t.ntouched - 1 downto 0 do
-    let i = t.touched.(k) in
-    if
-      (not (Hashtbl.mem t.errors i))
-      && not (Elt.leq t.sp t.lo.(i) t.hi_bound.(i))
-    then
-      Hashtbl.add t.errors i
-        { err_var = Some t.objs.(i); err_msg = explain t t.objs.(i) }
-  done
+(* Record a violation for every representative in [touched] whose least
+   solution escapes its constant upper bound. Violations are monotone
+   (constraints are only added; [lo] only rises, [hi_bound] only falls),
+   so entries never need revisiting. [explain] runs only here, after
+   propagation has reached fixpoint, so it sees final [lo] values. *)
+let check_violations t touched =
+  List.iter
+    (fun v ->
+      if
+        (not (Hashtbl.mem t.errors v.id))
+        && not (Elt.leq t.space v.lo v.hi_bound)
+      then Hashtbl.add t.errors v.id { err_var = Some v; err_msg = explain t v })
+    touched
 
 let result_of_errors t =
   match last_errors t with [] -> Ok () | es -> Error es
@@ -926,19 +690,21 @@ let result_of_errors t =
 (* Incremental solve: seed the worklists from the dirty set only. [lo] and
    [hi] already reflect every bound added since the last solve (the add_*
    functions fold new bounds in eagerly), so propagating from the dirty
-   region reaches exactly the variables whose solution can have changed.
-   Seeds go in dirty-set insertion order — deterministic and matched by
-   the reference solver, so [worklist_pops] is comparable across cores. *)
+   region reaches exactly the variables whose solution can have changed. *)
 let solve t =
   if not t.solved then begin
     let t0 = Unix.gettimeofday () in
-    propagate t ~seed:(fun push ->
-        for k = 0 to t.ndirty - 1 do
-          let i = t.dirty_stack.(k) in
-          if Bytes.unsafe_get t.dirty_mark i = '\001' then push i
-        done);
-    check_violations t;
-    dirty_reset t;
+    let touched = ref [] in
+    (* seed in dirty-set insertion order: deterministic and matched by the
+       arena solver, so [worklist_pops] is comparable across cores *)
+    let seeds = List.rev t.dirty_order in
+    propagate t
+      ~seed:(fun push ->
+        List.iter (fun v -> if Hashtbl.mem t.dirty v.id then push v) seeds)
+      ~touched;
+    check_violations t !touched;
+    Hashtbl.reset t.dirty;
+    t.dirty_order <- [];
     t.solved <- true;
     t.s_incr <- t.s_incr + 1;
     t.s_solve_s <- t.s_solve_s +. (Unix.gettimeofday () -. t0)
@@ -946,33 +712,32 @@ let solve t =
   result_of_errors t
 
 (* Full solve: reset every representative to its bounds and propagate from
-   everywhere (in reverse creation order, matching the reference solver's
-   variable-list order). The ablation baseline for incremental solving,
-   and a self-check hook (the fixpoint is unique, so the results must
-   agree). *)
+   everywhere. The ablation baseline for incremental solving, and a
+   self-check hook (the fixpoint is unique, so the results must agree). *)
 let solve_from_scratch t =
   let t0 = Unix.gettimeofday () in
-  for i = t.nvars - 1 downto 0 do
-    if t.parent.(i) = i then begin
-      t.lo.(i) <- t.lo_bound.(i);
-      t.hi.(i) <- t.hi_bound.(i)
-    end
-  done;
-  propagate t ~seed:(fun push ->
-      for i = t.nvars - 1 downto 0 do
-        if t.parent.(i) = i then push i
-      done);
+  List.iter
+    (fun v ->
+      if v.parent == v then begin
+        v.lo <- v.lo_bound;
+        v.hi <- v.hi_bound
+      end)
+    t.vars;
+  let touched = ref [] in
+  propagate t
+    ~seed:(fun push -> List.iter (fun v -> if v.parent == v then push v) t.vars)
+    ~touched;
   Hashtbl.reset t.errors;
-  for i = t.nvars - 1 downto 0 do
-    if
-      t.parent.(i) = i
-      && (not (Hashtbl.mem t.errors i))
-      && not (Elt.leq t.sp t.lo.(i) t.hi_bound.(i))
-    then
-      Hashtbl.add t.errors i
-        { err_var = Some t.objs.(i); err_msg = explain t t.objs.(i) }
-  done;
-  dirty_reset t;
+  List.iter
+    (fun v ->
+      if
+        v.parent == v
+        && (not (Hashtbl.mem t.errors v.id))
+        && not (Elt.leq t.space v.lo v.hi_bound)
+      then Hashtbl.add t.errors v.id { err_var = Some v; err_msg = explain t v })
+    t.vars;
+  Hashtbl.reset t.dirty;
+  t.dirty_order <- [];
   t.solved <- true;
   t.s_full <- t.s_full + 1;
   t.s_solve_s <- t.s_solve_s +. (Unix.gettimeofday () -. t0);
@@ -980,11 +745,11 @@ let solve_from_scratch t =
 
 let least t v =
   if not t.solved then ignore (solve t);
-  t.lo.(find_id t v.id)
+  (find v).lo
 
 let greatest t v =
   if not t.solved then ignore (solve t);
-  t.hi.(find_id t v.id)
+  (find v).hi
 
 (* Classification of one coordinate of a variable, per Section 4.4. *)
 type verdict =
@@ -994,17 +759,17 @@ type verdict =
 
 let classify t v i =
   if not t.solved then ignore (solve t);
-  let r = find_id t v.id in
+  let v = find v in
   (* In the upset encoding a coordinate is at its sub-lattice top when its
      whole bit range is set and at its bottom when the range is clear; for
      a classic two-point qualifier "top" is presence (positive) or absence
      (negative), exactly the historical verdicts. *)
-  let m = Elt.singleton_mask t.sp i in
-  if t.lo.(r) land m = m then Forced_up
-  else if t.hi.(r) land m = 0 then Forced_down
+  let m = Elt.singleton_mask t.space i in
+  if v.lo land m = m then Forced_up
+  else if v.hi land m = 0 then Forced_down
   else Free
 
-let classify_name t v name = classify t v (Space.find t.sp name)
+let classify_name t v name = classify t v (Space.find t.space name)
 
 let pp_verdict ppf = function
   | Forced_up -> Fmt.string ppf "forced-up"
@@ -1085,54 +850,44 @@ let instantiate ?bind t s =
 (* Batched constraint merge (parallel map-reduce support)              *)
 (* ------------------------------------------------------------------ *)
 
-(* A batch is the complete, ordered content of a store, exported as two
-   array slices of the arena: every variable in creation order (= id
-   order) and every atom in insertion order. Exporting a private worker
-   store and absorbing it into the shared store replays exactly the
+(* A batch is the complete, ordered content of a store: every variable in
+   creation order and every atom in insertion order. Exporting a private
+   worker store and absorbing it into the shared store replays exactly the
    operations the serial analysis would have performed, so dedup, cycle
    collapse and the final solution are identical. *)
 type batch = {
-  b_vars : var array;  (* creation order *)
-  b_atoms : atom array;  (* insertion order *)
+  b_vars : var list;  (* creation order *)
+  b_atoms : atom list;  (* insertion order *)
 }
 
-let export t =
-  {
-    b_vars = Array.sub t.objs 0 t.nvars;
-    b_atoms = Array.sub t.log 0 t.nlog;
-  }
+let export t = { b_vars = List.rev t.vars; b_atoms = List.rev t.log }
 
-let batch_vars b = Array.length b.b_vars
-let batch_atoms b = Array.length b.b_atoms
-let batch_content b = (b.b_vars, b.b_atoms)
+let batch_vars b = List.length b.b_vars
+let batch_atoms b = List.length b.b_atoms
 
 (* Replay [b] into [t]. [?bind] resolves batch variables that must map to
    pre-existing variables of [t] (the worker's mirrors of shared globals);
    every other batch variable is re-created fresh, {e in the batch's
-   creation order} (one tight ascending loop over the exported arena
-   segment), so the absorbing store allocates the same number of variables
-   in the same sequence as a serial run that had generated the batch's
-   constraints directly. Returns the realized renaming. *)
+   creation order}, so the absorbing store allocates the same number of
+   variables in the same sequence as a serial run that had generated the
+   batch's constraints directly. Returns the realized renaming. *)
 let absorb t ?bind (b : batch) =
   let t0 = Unix.gettimeofday () in
   let bound v = match bind with Some f -> f v | None -> None in
-  let n = Array.length b.b_vars in
-  let map = Hashtbl.create (max 16 n) in
-  for i = 0 to n - 1 do
-    let v = b.b_vars.(i) in
-    match bound v with
-    | Some g -> Hashtbl.replace map v.uid g
-    | None -> Hashtbl.replace map v.uid (fresh ~name:v.vname t)
-  done;
-  let rn v =
-    match Hashtbl.find_opt map v.uid with Some v' -> v' | None -> v
-  in
-  for i = 0 to Array.length b.b_atoms - 1 do
-    match b.b_atoms.(i) with
-    | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
-    | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
-    | Avv (x, y, mask, reason) -> add_leq_vv ?reason ~mask t (rn x) (rn y)
-  done;
+  let map = Hashtbl.create (List.length b.b_vars) in
+  List.iter
+    (fun v ->
+      match bound v with
+      | Some g -> Hashtbl.replace map v.uid g
+      | None -> Hashtbl.replace map v.uid (fresh ~name:v.vname t))
+    b.b_vars;
+  let rn v = match Hashtbl.find_opt map v.uid with Some v' -> v' | None -> v in
+  List.iter
+    (function
+      | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
+      | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
+      | Avv (x, y, mask, reason) -> add_leq_vv ?reason ~mask t (rn x) (rn y))
+    b.b_atoms;
   t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
   fun v -> Hashtbl.find_opt map v.uid
 
@@ -1142,8 +897,8 @@ let absorb t ?bind (b : batch) =
    common for leaf-function tasks that touched only pre-mirrored globals —
    without perturbing variable-creation parity with a serial run. *)
 let batch_skippable ~bind (b : batch) =
-  Array.length b.b_atoms = 0
-  && Array.for_all (fun v -> Option.is_some (bind v)) b.b_vars
+  b.b_atoms = []
+  && List.for_all (fun v -> Option.is_some (bind v)) b.b_vars
 
 let pp_atom sp ppf = function
   | Avc (v, c, _, _) -> Fmt.pf ppf "%a <= %a" pp_var v (Elt.pp_full sp) c
@@ -1160,61 +915,64 @@ let error_message e = e.err_msg
 (* Forced full worklist least-solution pass (no incrementality), over
    representatives. Kept as a benchmark arm. *)
 let solve_least t =
-  for i = t.nvars - 1 downto 0 do
-    if t.parent.(i) = i then begin
-      t.lo.(i) <- t.lo_bound.(i);
-      wl_push t i
+  let sp = t.space in
+  let queue = Queue.create () in
+  let inq = Hashtbl.create 64 in
+  let push v =
+    if not (Hashtbl.mem inq v.id) then begin
+      Hashtbl.add inq v.id ();
+      Queue.push v queue
     end
-  done;
-  while t.wl_head < t.wl_tail do
-    let v = wl_pop t in
+  in
+  List.iter
+    (fun v ->
+      if v.parent == v then begin
+        v.lo <- v.lo_bound;
+        push v
+      end)
+    t.vars;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Hashtbl.remove inq v.id;
     t.s_pops <- t.s_pops + 1;
-    let lov = Array.unsafe_get t.lo v in
-    let e = ref (Array.unsafe_get t.succ_head v) in
-    while !e >= 0 do
-      let b = 3 * !e in
-      e := Array.unsafe_get t.ecells (b + 2);
-      let d = Array.unsafe_get t.ecells b in
-      let s = if Array.unsafe_get t.parent d = d then d else find_id t d in
-      if s <> v then begin
-        let los = Array.unsafe_get t.lo s in
-        let lo' = los lor (lov land Array.unsafe_get t.ecells (b + 1)) in
-        if lo' <> los then begin
-          Array.unsafe_set t.lo s lo';
-          wl_push t s
-        end
-      end
-    done
-  done;
-  wl_reset t
+    List.iter
+      (fun (s, mask, _) ->
+        let s = find s in
+        if s != v then begin
+          let contrib = Elt.embed_bottom sp ~mask v.lo in
+          let lo' = Elt.join sp s.lo contrib in
+          if not (Elt.equal lo' s.lo) then begin
+            s.lo <- lo';
+            push s
+          end
+        end)
+      v.succs
+  done
 
 (* Same least solution computed by round-robin iteration to fixpoint, with
    no worklist. Kept as the ablation baseline for the micro-benchmarks. *)
 let solve_least_naive t =
-  for i = t.nvars - 1 downto 0 do
-    if t.parent.(i) = i then t.lo.(i) <- t.lo_bound.(i)
-  done;
+  let sp = t.space in
+  List.iter (fun v -> if v.parent == v then v.lo <- v.lo_bound) t.vars;
   let changed = ref true in
   while !changed do
     changed := false;
-    for i = t.nvars - 1 downto 0 do
-      if t.parent.(i) = i then begin
-        let e = ref t.succ_head.(i) in
-        while !e >= 0 do
-          let cell = !e in
-          let b = 3 * cell in
-          e := t.ecells.(b + 2);
-          let s = find_id t t.ecells.(b) in
-          if s <> i then begin
-            let lo' = t.lo.(s) lor (t.lo.(i) land t.ecells.(b + 1)) in
-            if lo' <> t.lo.(s) then begin
-              t.lo.(s) <- lo';
-              changed := true
-            end
-          end
-        done
-      end
-    done
+    List.iter
+      (fun v ->
+        if v.parent == v then
+          List.iter
+            (fun (s, mask, _) ->
+              let s = find s in
+              if s != v then begin
+                let contrib = Elt.embed_bottom sp ~mask v.lo in
+                let lo' = Elt.join sp s.lo contrib in
+                if not (Elt.equal lo' s.lo) then begin
+                  s.lo <- lo';
+                  changed := true
+                end
+              end)
+            v.succs)
+      t.vars
   done
 
 (* ------------------------------------------------------------------ *)
@@ -1237,15 +995,11 @@ let solve_least_naive t =
       composition.
 
    Masked atoms (per-coordinate well-formedness conditions) are treated
-   conservatively: a variable with any non-full-mask atom is kept.
-
-   Atom dedup packs the (tag, var ids, const, mask) key into int-keyed
-   [Iset] entries — the tag rides in the low bits of the first id — so no
-   tuple is allocated and no polymorphic hashing runs. *)
+   conservatively: a variable with any non-full-mask atom is kept. *)
 
 let simplify_scheme t ~(interface : var list) (s : scheme) : scheme =
-  let full = Lattice.Elt.full_mask t.sp in
-  let sp = t.sp in
+  let full = Lattice.Elt.full_mask t.space in
+  let sp = t.space in
   let local_ids = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace local_ids v.id ()) s.locals;
   let observable = Hashtbl.create 64 in
@@ -1263,19 +1017,21 @@ let simplify_scheme t ~(interface : var list) (s : scheme) : scheme =
           mark x;
           mark y)
     s.atoms;
-  (* dedup: key = (tag in low bits of id1, id2, const, mask) *)
-  let seen = Iset.create ~cap:128 () in
-  let seen_before = function
-    | Avc (v, c, m, _) -> Iset.mem_add seen ((v.id lsl 2) lor 0) (-1) c m
-    | Acv (c, v, m, _) -> Iset.mem_add seen ((v.id lsl 2) lor 1) (-1) c m
-    | Avv (x, y, m, _) -> Iset.mem_add seen ((x.id lsl 2) lor 2) y.id 0 m
+  (* dedup *)
+  let key = function
+    | Avc (v, c, m, _) -> (0, v.id, -1, c, m)
+    | Acv (c, v, m, _) -> (1, v.id, -1, c, m)
+    | Avv (x, y, m, _) -> (2, x.id, y.id, 0, m)
   in
+  let seen = Hashtbl.create 128 in
   let atoms =
     ref
       (List.filter
          (fun a ->
-           if seen_before a then false
+           let k = key a in
+           if Hashtbl.mem seen k then false
            else begin
+             Hashtbl.add seen k ();
              (* drop trivially vacuous atoms *)
              match a with
              | Avc (_, c, m, _) ->
@@ -1439,14 +1195,12 @@ let scheme_size s = List.length s.atoms
 
    Determinism matters downstream (parallel workers must publish the same
    scheme the serial run builds): the pass never consults representatives
-   ([find_id]) or iterates a hashtable for output; surviving atoms keep
-   their original order, composed atoms append in generation order, and
-   the local list keeps its original order filtered to interface members
-   and variables still mentioned. The atom-dedup keys are packed into
-   int-keyed [Iset] entries exactly as in {!simplify_scheme}, but over
-   [uid]s (compaction runs where variables of two stores can mix). *)
+   ([find]) or iterates a hashtable for output; surviving atoms keep their
+   original order, composed atoms append in generation order, and the
+   local list keeps its original order filtered to interface members and
+   variables still mentioned. *)
 let compact t ~(interface : var list) (s : scheme) : scheme =
-  let sp = t.sp in
+  let sp = t.space in
   t.s_sv_before <- t.s_sv_before + List.length s.locals;
   t.s_se_before <- t.s_se_before + List.length s.atoms;
   let local_uids = Hashtbl.create 64 in
@@ -1456,18 +1210,27 @@ let compact t ~(interface : var list) (s : scheme) : scheme =
   (* dedup + vacuous-drop filter; [seen] persists across passes: a key can
      only name a removed atom if one of its endpoints was eliminated, and
      composition never reproduces atoms on eliminated endpoints *)
-  let seen = Iset.create ~cap:128 () in
+  let seen = Hashtbl.create 128 in
   let vacuous = function
     | Avc (_, c, m, _) -> Elt.leq_masked sp ~mask:m (Elt.top sp) c
     | Acv (c, _, m, _) -> Elt.leq_masked sp ~mask:m c (Elt.bottom sp)
     | Avv (x, y, m, _) -> x.uid = y.uid || m land Elt.full_mask sp = 0
   in
-  let seen_before = function
-    | Avc (v, c, m, _) -> Iset.mem_add seen ((v.uid lsl 2) lor 0) (-1) c m
-    | Acv (c, v, m, _) -> Iset.mem_add seen ((v.uid lsl 2) lor 1) (-1) c m
-    | Avv (x, y, m, _) -> Iset.mem_add seen ((x.uid lsl 2) lor 2) y.uid 0 m
+  let key = function
+    | Avc (v, c, m, _) -> (0, v.uid, -1, (c : Elt.t), m)
+    | Acv (c, v, m, _) -> (1, v.uid, -1, c, m)
+    | Avv (x, y, m, _) -> (2, x.uid, y.uid, 0, m)
   in
-  let fresh_atom a = (not (vacuous a)) && not (seen_before a) in
+  let fresh_atom a =
+    (not (vacuous a))
+    &&
+    let k = key a in
+    if Hashtbl.mem seen k then false
+    else begin
+      Hashtbl.add seen k ();
+      true
+    end
+  in
   let atoms = ref (List.filter fresh_atom s.atoms) in
   let eliminated = Hashtbl.create 32 in
   let changed = ref true in
@@ -1712,8 +1475,7 @@ let solve_atoms sp (atoms : atom list) : int -> Elt.t * Elt.t =
 (* Replay the full constraint log through the store-free evaluator: an
    independent oracle for the optimized solver, keyed by original (stable)
    variable ids. Used by the equivalence property tests. *)
-let naive_bounds t =
-  solve_atoms t.sp (Array.to_list (Array.sub t.log 0 t.nlog))
+let naive_bounds t = solve_atoms t.space (List.rev t.log)
 
 (* Present a scheme as a constrained type qualifier prefix — the notation
    question raised in Section 6 ("we currently do not have a notation for

@@ -1,4 +1,12 @@
-(** Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper).
+(** Pre-arena reference solver (records + [Hashtbl]): the PR 5
+    implementation {!Solver} replaced with the flat arena, kept as the
+    ablation baseline and as the oracle for the arena parity tests. The
+    interface is identical to {!Solver}'s (minus the batch-content
+    accessor); the one behavioral deviation from the historical code is
+    that the dirty set seeds solve worklists in insertion order, making
+    [worklist_pops] deterministic and comparable across the two cores.
+
+    Atomic qualifier-constraint solver (Sections 3.1–3.2 of the paper).
 
     After subtype constraints on qualified types are decomposed
     structurally, qualifier inference is left with atomic constraints over
@@ -14,16 +22,7 @@
 
     Constrained type schemes (Section 3.2) are supported by {!recording}
     the atoms generated while inferring a binding and {!instantiate}-ing
-    them later under a fresh renaming of the scheme-local variables.
-
-    The implementation is a {e flat arena}: variable state lives in dense
-    int columns indexed by creation-order id, adjacency is a linked edge
-    arena, dedup tables are open-addressing int-keyed hash sets and the
-    propagation worklist is an int ring buffer (see DESIGN.md,
-    "Flat-arena solver"). {!Solver_ref} is the pre-arena records +
-    [Hashtbl] implementation, kept as the ablation baseline; both expose
-    this same interface and are byte-for-byte observationally
-    equivalent (property-tested). *)
+    them later under a fresh renaming of the scheme-local variables. *)
 
 module Elt = Lattice.Elt
 module Space = Lattice.Space
@@ -188,11 +187,6 @@ val export : t -> batch
 val batch_vars : batch -> int
 val batch_atoms : batch -> int
 
-val batch_content : batch -> var array * atom array
-(** the batch's variables (creation order) and atoms (insertion order),
-    as stored — do not mutate. Used by the parity harnesses to replay an
-    exported constraint stream through an independent store. *)
-
 val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
 (** Replay a batch (typically exported from a worker's private store) into
     [t]: batch variables resolved by [?bind] map to existing variables of
@@ -289,8 +283,7 @@ type stats = {
       (** instantiations served from the per-scope memo table *)
   empty_batches_skipped : int;
       (** worker batches whose absorb was skipped as a no-op *)
-  heap_words : int;
-      (** live major-heap words at sampling time ([Gc.quick_stat]) *)
+  heap_words : int;  (** live major-heap words at sampling time *)
   top_heap_words : int;  (** peak major-heap size over the process life *)
   cores_available : int;  (** [Domain.recommended_domain_count] *)
 }

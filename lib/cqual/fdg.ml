@@ -102,6 +102,9 @@ let scc_deps t : int array * int list array =
   Array.iteri (fun i scc -> List.iter (fun f -> Hashtbl.replace scc_of f i) scc) sccs;
   let in_degree = Array.make n 0 in
   let dependents = Array.make n [] in
+  (* dedup (i, j) SCC pairs on a single packed int key: [n] is the SCC
+     count, so [i * n + j] is injective — no tuple allocation, no
+     polymorphic hashing *)
   let seen = Hashtbl.create 64 in
   Array.iteri
     (fun i scc ->
@@ -110,8 +113,8 @@ let scc_deps t : int array * int list array =
           List.iter
             (fun g ->
               match Hashtbl.find_opt scc_of g with
-              | Some j when j <> i && not (Hashtbl.mem seen (i, j)) ->
-                  Hashtbl.add seen (i, j) ();
+              | Some j when j <> i && not (Hashtbl.mem seen ((i * n) + j)) ->
+                  Hashtbl.add seen ((i * n) + j) ();
                   in_degree.(i) <- in_degree.(i) + 1;
                   dependents.(j) <- i :: dependents.(j)
               | _ -> ())

@@ -3,6 +3,7 @@ let () =
     [
       ("lattice", Test_lattice.tests);
       ("solver", Test_solver.tests);
+      ("arena", Test_arena.tests);
       ("lambda", Test_lambda.tests);
       ("cfront", Test_cfront.tests);
       ("resilience", Test_resilience.tests);
