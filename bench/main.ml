@@ -31,6 +31,13 @@
                simplification (Section 6's open problem)
      micro   — Bechamel micro-benchmarks of the solver and both inference
                modes
+     cache   — the persistent scheme cache on the CI smoke corpus: cold
+               populate vs warm no-op (>= 5x) vs one dirty unit (only
+               its SCCs re-infer), plus a fault-injection sweep —
+               truncation, bit flips, magic/version skew — asserting
+               every corruption is rejected, counted, and recomputed to
+               a byte-identical report; writes BENCH_cache.json.
+               TYPEQUAL_CACHE_LINES overrides the line target.
      scale   — the flat-arena push: a 1M+ line multi-file project analyzed
                at jobs 1/2/4/8 (wall time, peak heap, solver counters,
                serial-vs-parallel report digest), plus an arena-vs-
@@ -119,6 +126,11 @@ let jstats (s : TS.stats) =
       ("cores_available", ji s.TS.cores_available);
     ]
 
+(* set by the cache section while measuring warm runs: any section whose
+   numbers could have been served from the persistent cache says so in
+   its env block *)
+let cache_used = ref false
+
 (* memory + machine context, attached to every bench section so the perf
    trajectory tracks heap growth alongside wall time *)
 let jenv () =
@@ -128,6 +140,7 @@ let jenv () =
       ("heap_words", ji g.Gc.heap_words);
       ("top_heap_words", ji g.Gc.top_heap_words);
       ("cores_available", ji (Typequal.Pool.cores_available ()));
+      ("cache_used", jb !cache_used);
     ]
 
 let bench_sections : (string * json) list ref = ref []
@@ -1330,6 +1343,201 @@ let scale () =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Persistent scheme cache: cold vs warm-noop vs one-dirty-unit on the *)
+(* CI smoke corpus, plus a fault-injection sweep asserting that every  *)
+(* corruption mode is rejected and recomputed to a byte-identical      *)
+(* report; writes BENCH_cache.json                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Typequal.Cache
+
+let cache_bench () =
+  Fmt.pr "@.=== Persistent cache: cold / warm / dirty-unit / faults ===@.";
+  let b = List.hd Cbench.Suite.scale_smoke in
+  let target =
+    match Sys.getenv_opt "TYPEQUAL_CACHE_LINES" with
+    | Some v -> ( try int_of_string v with _ -> b.Cbench.Suite.b_lines)
+    | None -> b.Cbench.Suite.b_lines
+  in
+  let files =
+    Cbench.Gen.generate_project ~seed:b.Cbench.Suite.b_seed
+      ~target_lines:target ()
+  in
+  Fmt.pr "corpus %s: %d files, %d lines@." b.Cbench.Suite.b_name
+    (List.length files)
+    (Cbench.Gen.project_lines files);
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "typequal-cache-bench-%d" (Unix.getpid ()))
+    in
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+    d
+  in
+  let open_cache () =
+    match Driver.open_cache ~opts_id:"bench" dir with
+    | Some cs -> cs
+    | None -> failwith "cache bench: cannot open cache directory"
+  in
+  let digest (r : Driver.run) =
+    scale_digest r.Driver.results r.Driver.solver_stats
+  in
+  let timed_run files =
+    let cs = open_cache () in
+    let t0 = Unix.gettimeofday () in
+    let r = Driver.run_sources ~mode:Analysis.Poly ~cache:cs files in
+    (Unix.gettimeofday () -. t0, digest r, Cache.stats cs.Driver.cs_cache)
+  in
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+  cache_used := true;
+
+  (* ---- cold populate, warm no-op ---- *)
+  let t_cold, d_cold, st_cold = timed_run files in
+  Fmt.pr "cold  %.3fs (%d entries written)@." t_cold
+    (List.length (Cache.entry_files (open_cache ()).Driver.cs_cache));
+  let t_warm, d_warm, st_warm = timed_run files in
+  Fmt.pr "warm  %.3fs: %.1fx (run-tier hits %d)@." t_warm (t_cold /. t_warm)
+    st_warm.Cache.hits;
+  check "cold run has no hits" (st_cold.Cache.hits = 0) "";
+  check "warm report byte-identical to cold" (d_warm = d_cold) "";
+  check "warm run is a whole-run hit"
+    (match Hashtbl.find_opt st_warm.Cache.by_kind "run" with
+    | Some (1, 0) -> true
+    | _ -> false)
+    "";
+  check "warm no-op at least 5x faster than cold"
+    (t_cold /. t_warm >= 5.)
+    (Printf.sprintf " measured %.1fx" (t_cold /. t_warm));
+
+  (* ---- fault injection: corrupt the warm state, demand a counted
+     reject and a byte-identical recomputation. Runs before the
+     dirty-unit measurement so the cache holds exactly one run and one
+     ast entry. ---- *)
+  let read_file path = In_channel.with_open_bin path In_channel.input_all in
+  let write_file path s =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  in
+  let flip path off =
+    let s = Bytes.of_string (read_file path) in
+    Bytes.set s off (Char.chr (Char.code (Bytes.get s off) lxor 0xff));
+    write_file path (Bytes.to_string s)
+  in
+  let entry_with prefix =
+    List.find
+      (fun p ->
+        String.length (Filename.basename p) >= String.length prefix
+        && String.sub (Filename.basename p) 0 (String.length prefix) = prefix)
+      (Cache.entry_files (open_cache ()).Driver.cs_cache)
+  in
+  let jfaults = ref [] in
+  let fault name cause corrupt =
+    (* re-warm so every fault starts from a fully-populated cache *)
+    let _ = timed_run files in
+    corrupt ();
+    let _, d, st = timed_run files in
+    let rejected =
+      match Hashtbl.find_opt st.Cache.rejects cause with
+      | Some n -> n >= 1
+      | None -> false
+    in
+    check
+      (Printf.sprintf "fault %-12s rejected as %s, report identical" name
+         cause)
+      (rejected && d = d_cold) "";
+    jfaults :=
+      Jobj
+        [
+          ("fault", Jstr name);
+          ("cause", Jstr cause);
+          ("rejected", jb rejected);
+          ("report_identical", jb (d = d_cold));
+        ]
+      :: !jfaults
+  in
+  fault "truncate" "truncated" (fun () ->
+      let p = entry_with "run-" in
+      let s = read_file p in
+      write_file p (String.sub s 0 (String.length s / 2)));
+  fault "bit-flip" "corrupt" (fun () ->
+      let p = entry_with "run-" in
+      flip p (String.length (read_file p) - 1));
+  fault "bad-magic" "bad-magic" (fun () -> flip (entry_with "run-") Cache.off_magic);
+  fault "version-skew" "bad-version" (fun () ->
+      flip (entry_with "run-") (Cache.off_version + 1));
+  fault "scc-bit-flip" "corrupt" (fun () ->
+      (* kill the outer tiers so the corrupted scc entry is actually read *)
+      Sys.remove (entry_with "run-");
+      Sys.remove (entry_with "ast-");
+      let p = entry_with "scc-" in
+      flip p (String.length (read_file p) - 1));
+
+  (* ---- one dirty unit: touch the last file's content without changing
+     any interface; only its SCCs may re-infer ---- *)
+  let _ = timed_run files in
+  let dirty =
+    match List.rev files with
+    | (name, src) :: rest -> List.rev ((name, src ^ "\n") :: rest)
+    | [] -> assert false
+  in
+  let t_dirty, d_dirty, st_dirty = timed_run dirty in
+  let scc_hits, scc_misses =
+    match Hashtbl.find_opt st_dirty.Cache.by_kind "scc" with
+    | Some hm -> hm
+    | None -> (0, 0)
+  in
+  Fmt.pr "dirty %.3fs: %.1fx (dirty cone %d of %d sccs)@." t_dirty
+    (t_cold /. t_dirty) scc_misses (scc_hits + scc_misses);
+  check "dirty-unit report byte-identical to cold" (d_dirty = d_cold) "";
+  check "dirty unit re-infers only part of the project"
+    (scc_hits > 0 && scc_misses > 0 && scc_misses < scc_hits)
+    (Printf.sprintf " %d/%d sccs re-inferred" scc_misses
+       (scc_hits + scc_misses));
+  Fmt.pr "%s@."
+    (if !ok then "ALL CACHE CHECKS PASSED" else "CACHE CHECKS FAILED");
+
+  (* ---- BENCH_cache.json ---- *)
+  let buf = Buffer.create 4096 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
+         ("corpus", Jstr b.Cbench.Suite.b_name);
+         ("files", ji (List.length files));
+         ("lines", ji (Cbench.Gen.project_lines files));
+         ("mode", Jstr "poly");
+         ("cold_s", jf t_cold);
+         ("warm_s", jf t_warm);
+         ("warm_speedup", jf (t_cold /. t_warm));
+         ("dirty_unit_s", jf t_dirty);
+         ("dirty_speedup", jf (t_cold /. t_dirty));
+         ("dirty_cone_sccs", ji scc_misses);
+         ("total_sccs", ji (scc_hits + scc_misses));
+         ("reports_identical", jb (d_warm = d_cold && d_dirty = d_cold));
+         ("faults", Jlist (List.rev !jfaults));
+         ("all_checks_passed", jb !ok);
+       ]);
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_cache.json@.";
+  cache_used := false;
+  (* scratch cache cleanup *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Sys.rmdir dir
+   with Sys_error _ -> ());
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1349,6 +1557,7 @@ let () =
   if want "ablation" || want "micro" || want "solver" then solver_ablation ();
   if want "extensions" then extensions ();
   if want "micro" then micro ();
+  if want "cache" then cache_bench ();
   (* scale only when asked for by name: the corpus is a million lines *)
   if List.mem "scale" args || List.mem "all" args then scale ();
   write_json ()

@@ -81,11 +81,29 @@ let budget_of_spec = function
            ?deadline_s:(Option.map (fun ms -> float_of_int ms /. 1000.) s.bs_ms)
            ~clock:Unix.gettimeofday ())
 
+(* What the analysis runs on: a single source keeps its text (and
+   diagnostic line numbers) untouched; a project of several translation
+   units is concatenated by the driver, which also tracks each unit's
+   span so the cache can key invalidation per file. *)
+type input =
+  | Single of string * string  (** unit name, source *)
+  | Project of (string * string) list
+
+let source_of_input = function
+  | Single (_, src) -> src
+  | Project files -> Driver.concat_sources files
+
 let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
-    ~print_diags mode name src =
+    ~cache ~print_diags mode name input =
+  let budget = budget_of_spec budget in
   let r =
-    Driver.run_source ~mode ~rules ?budget:(budget_of_spec budget) ~compact
-      ~jobs ~max_errors src
+    match input with
+    | Single (unit, src) ->
+        Driver.run_source ~mode ~rules ?budget ~compact ~jobs ~max_errors
+          ?cache ~unit src
+    | Project files ->
+        Driver.run_sources ~mode ~rules ?budget ~compact ~jobs ~max_errors
+          ?cache files
   in
   let res = r.Driver.results in
   (* diagnostics are a property of the source, not the mode: print them
@@ -189,7 +207,7 @@ let rules_of_lattice_file path qual_override =
         exit 2)
 
 let main files bench mode positions taint flow insensitive stats budget jobs
-    max_errors no_compact lattice qual dump_lattice =
+    max_errors no_compact lattice qual dump_lattice cache_dir =
   let rules =
     match lattice with
     | Some path -> rules_of_lattice_file path qual
@@ -199,32 +217,30 @@ let main files bench mode positions taint flow insensitive stats budget jobs
     Fmt.pr "%a" Typequal.Lattice.Space.pp_dump rules.Analysis.qr_space;
     exit 0
   end;
-  let name, src =
+  let name, input =
     match (files, bench) with
-    | [ f ], _ -> (f, read_file f)
+    | [ f ], _ -> (f, Single (f, read_file f))
     | _ :: _ :: _, _ ->
         (* multiple translation units: whole-program analysis by
            concatenation, in command-line order *)
         ( String.concat "+" files,
-          Driver.concat_sources (List.map (fun f -> (f, read_file f)) files)
-        )
+          Project (List.map (fun f -> (f, read_file f)) files) )
     | [], Some b -> (
         match List.assoc_opt b Cbench.Programs.all with
-        | Some src -> (b, src)
+        | Some src -> (b, Single (b, src))
         | None when b = "miniproject" ->
-            (b, Driver.concat_sources Cbench.Programs.miniproject)
+            (b, Project Cbench.Programs.miniproject)
         | None -> (
             let find l =
               List.find_opt (fun (x : Cbench.Suite.bench) -> x.b_name = b) l
             in
             match find Cbench.Suite.table1 with
-            | Some bb -> (b, Cbench.Suite.source_of bb)
+            | Some bb -> (b, Single (b, Cbench.Suite.source_of bb))
             | None -> (
                 match
                   find (Cbench.Suite.scale @ Cbench.Suite.scale_smoke)
                 with
-                | Some bb ->
-                    (b, Driver.concat_sources (Cbench.Suite.project_of bb))
+                | Some bb -> (b, Project (Cbench.Suite.project_of bb))
                 | None ->
                     Fmt.epr
                       "unknown benchmark %s; embedded: %a, miniproject; \
@@ -242,21 +258,48 @@ let main files bench mode positions taint flow insensitive stats budget jobs
         Fmt.epr "need a FILE or --bench NAME@.";
         exit 2
   in
-  if flow then run_flow name src insensitive
+  if flow then run_flow name (source_of_input input) insensitive
   else
+    (* the rule-set identity the driver's fingerprints cannot derive:
+       which analysis flavour and (for --lattice) which config built it.
+       Any cache fault warns once on stderr and the run continues cold —
+       cache trouble never changes the exit contract. *)
+    let cache =
+      match cache_dir with
+      | None -> None
+      | Some dir ->
+          let opts_id =
+            String.concat ":"
+              [
+                (match lattice with
+                | Some path ->
+                    "lattice=" ^ Digest.to_hex (Digest.string (read_file path))
+                | None -> if taint then "taint" else "const");
+                (match qual with Some q -> q | None -> "-");
+              ]
+          in
+          Driver.open_cache
+            ~warn:(fun m -> Fmt.epr "warning: %s@." m)
+            ~rules ~opts_id dir
+    in
     let run_one =
       run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors
-        ~compact:(not no_compact)
+        ~compact:(not no_compact) ~cache
     in
     match
       let runs =
         match mode with
-        | Some m -> [ run_one ~print_diags:true m name src ]
+        | Some m -> [ run_one ~print_diags:true m name input ]
         | None ->
-            let r1 = run_one ~print_diags:true Analysis.Mono name src in
-            let r2 = run_one ~print_diags:false Analysis.Poly name src in
+            let r1 = run_one ~print_diags:true Analysis.Mono name input in
+            let r2 = run_one ~print_diags:false Analysis.Poly name input in
             [ r1; r2 ]
       in
+      (match cache with
+      | Some cs when stats ->
+          Fmt.pr "cache: %a@." Typequal.Cache.pp_stats
+            (Typequal.Cache.stats cs.Driver.cs_cache)
+      | _ -> ());
       let type_errors =
         List.fold_left
           (fun n r -> n + r.Driver.results.Report.type_errors)
@@ -418,6 +461,21 @@ let dump_lattice =
           "Print the active qualifier space (qualifiers, levels, order, bit \
            layout) and exit — for debugging custom lattice files")
 
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist analysis results (parsed ASTs, per-SCC constraint \
+           schemes, whole-run reports) under $(docv), and reuse any entry \
+           whose full verification chain — format, version, lattice, \
+           content hash, dependency interface hashes, payload checksum — \
+           still holds. Anything else is re-inferred cold, so reports are \
+           byte-identical with or without a cache. Safe under concurrent \
+           invocations; cache I/O trouble warns once and the run continues \
+           uncached. See $(b,--stats) for hit/miss/reject counts.")
+
 let cmd =
   let doc = "const inference for C (Foster, Fähndrich, Aiken — PLDI 1999)" in
   Cmd.v
@@ -425,7 +483,7 @@ let cmd =
     Term.(
       const main $ files $ bench $ mode $ positions $ taint $ flow $ insensitive
       $ stats $ budget $ jobs $ max_errors $ no_compact $ lattice $ qual
-      $ dump_lattice)
+      $ dump_lattice $ cache_dir)
 
 (* Last line of defense: whatever leaks out of the pipeline becomes a
    one-line message and exit 2 — users should never see a backtrace.

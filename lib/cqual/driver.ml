@@ -39,77 +39,328 @@ let compile src =
   | Error m -> raise (Error m)
   | Ok p -> Cfront.Cprog.build p
 
-let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs mode prog
-    =
+(* ------------------------------------------------------------------ *)
+(* Persistent cache (three tiers; see DESIGN.md)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Typequal.Cache
+
+(** an open cache plus the caller's identity string for everything the
+    fingerprints below cannot see — the rule set beyond its qualifier
+    space (e.g. which CLI analysis flavour and lattice file built it) *)
+type cache_spec = { cs_cache : Cache.t; cs_opts_id : string }
+
+(* The context digest stamped into every envelope: qualifier-space dump
+   (the full lattice structure), compiler version (Marshal payloads are
+   not portable across it), and a payload-format revision to bump whenever
+   any marshaled type in this file or the analysis changes shape. *)
+let space_fingerprint (sp : Typequal.Lattice.Space.t) : Digest.t =
+  Digest.string
+    (Fmt.str "%a|%s|payload-fmt-1" Typequal.Lattice.Space.pp_dump sp
+       Sys.ocaml_version)
+
+(** Open a cache directory for runs under this rule set (default: const
+    inference). Returns [None] — after [warn] — when the path is unusable;
+    run without a cache then. Never raises. *)
+let open_cache ?warn ?(rules = Analysis.const_rules) ~opts_id dir :
+    cache_spec option =
+  match
+    Cache.open_dir ?warn ~ctx:(space_fingerprint rules.Analysis.qr_space) dir
+  with
+  | Some c -> Some { cs_cache = c; cs_opts_id = opts_id }
+  | None -> None
+
+(* Unit identity: the per-file content hash that keys invalidation. The
+   name participates, so renaming a file on disk invalidates exactly the
+   units (and run) that file contributes to — even though the analysis
+   sees one concatenated program. *)
+let unit_digest name content = Digest.string (name ^ "\000" ^ content)
+
+(* a unit's span in the concatenated program: first line, last line,
+   content digest *)
+type span = int * int * string
+
+let mode_name = function
+  | Analysis.Mono -> "mono"
+  | Analysis.Poly -> "poly"
+  | Analysis.Polyrec -> "polyrec"
+
+(* Everything that parameterizes inference besides the program text and
+   the qualifier space (already in the envelope context). [jobs] is
+   deliberately absent: results are jobs-invariant. *)
+let opt_fingerprint ~(cs : cache_spec) ~mode ~field_sharing ~simplify
+    ~compact ~max_errors : string =
+  let ob = function Some b -> string_of_bool b | None -> "-" in
+  Digest.string
+    (String.concat "|"
+       [
+         cs.cs_opts_id;
+         mode_name mode;
+         ob field_sharing;
+         ob simplify;
+         ob compact;
+         (match max_errors with Some n -> string_of_int n | None -> "-");
+       ])
+
+(* The cross-unit declaration context a function's analysis depends on
+   beyond its own unit: globals, prototypes, typedefs, struct/union
+   layouts, enums — everything of the program except function bodies
+   (covered per-unit) and the FDG dependency set (covered by the
+   envelopes' dependency digests). Line numbers and initializers are
+   excluded, so touching one unit does not invalidate the others. *)
+let env_fingerprint (prog : Cfront.Cprog.t) : string =
+  let b = Buffer.create 4096 in
+  let put x = Buffer.add_string b (Marshal.to_string x []) in
+  List.iter
+    (fun (g : Cfront.Cast.global) ->
+      match g with
+      | Cfront.Cast.GFun _ -> ()
+      | Cfront.Cast.GVar d ->
+          put ("v", d.Cfront.Cast.d_name, d.Cfront.Cast.d_type)
+      | Cfront.Cast.GProto (n, t, _) -> put ("p", n, t)
+      | Cfront.Cast.GTypedef (n, t, _) -> put ("t", n, t)
+      | Cfront.Cast.GComp (tag, u, fields, _) -> put ("c", (tag, u, fields))
+      | Cfront.Cast.GEnum (tag, items, _) -> put ("e", (tag, items)))
+    prog.Cfront.Cprog.order;
+  Digest.string (Buffer.contents b)
+
+(* the run record's cacheable core: no wall-clock, no parallel-phase
+   breakdown, solver counters sanitized of nondeterministic fields *)
+type cached_run = {
+  cr_results : Report.results;
+  cr_lines : int;
+  cr_n_functions : int;
+  cr_n_constraints : int;
+  cr_stats : Typequal.Solver.stats;
+  cr_diags : Cfront.Diag.t list;
+  cr_scc_count : int;
+  cr_largest_scc : int;
+  cr_wavefront : int;
+}
+
+(* load kind/key and unmarshal as ['a]; any decode failure rejects the
+   entry (the envelope verified, so the payload was well-formed bytes that
+   mean nothing to us — e.g. written by a differently-shaped build) *)
+let load_marshal (type a) (c : Cache.t) ~kind ~key ~deps : a option =
+  match Cache.load c ~kind ~key ~deps with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : a) with
+      | v -> Some v
+      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception _ ->
+          Cache.reject_undecodable c ~kind ~key;
+          None)
+
+let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
+    mode prog =
   let (env, ifaces), t =
     time (fun () ->
-        Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
-          mode prog)
+        Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?cache
+          ?jobs mode prog)
   in
   let results, t2 = time (fun () -> Report.measure env ifaces) in
   (env, results, t +. t2)
+
+(* One mode over an already-concatenated program [src] whose units are
+   described by [spans]. The cold path is the pre-cache pipeline verbatim;
+   the cached path layers three tiers over it — whole-run, parsed AST, and
+   per-SCC schemes (inside {!Analysis.run}) — each of which degrades to
+   the tier below on any miss or rejection, so every fault converges to
+   the cold result. *)
+let run_concat ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
+    ?compact ?budget ?jobs ?max_errors ?cache ~(spans : span list)
+    (src : string) : run =
+  let cold_analyze ?cache () =
+    let (pr, prog), t_compile =
+      time (fun () ->
+          let pr = Cfront.Cparse.parse_program_partial ?max_errors src in
+          (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+    in
+    (pr, prog, t_compile, cache)
+  in
+  let finish (pr, prog, t_compile, cache) =
+    let env, results, t_analysis =
+      analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
+        mode prog
+    in
+    let fdg = Fdg.build prog in
+    let results =
+      {
+        results with
+        Report.outcomes =
+          results.Report.outcomes
+          @ List.map
+              (fun (name, reason) -> (name, Analysis.Degraded reason))
+              pr.Cfront.Cparse.pr_degraded;
+      }
+    in
+    {
+      results;
+      timing = { t_compile; t_analysis };
+      lines = Cfront.Cprog.count_lines src;
+      n_functions = List.length (Cfront.Cprog.functions prog);
+      n_constraints = Typequal.Solver.num_vars env.Analysis.store;
+      solver_stats = Analysis.stats env;
+      diagnostics = pr.Cfront.Cparse.pr_diags;
+      fdg_scc_count = Fdg.scc_count fdg;
+      fdg_largest_scc = Fdg.largest_scc fdg;
+      wavefront_width = Fdg.wavefront_width fdg;
+      par = env.Analysis.par;
+    }
+  in
+  (* budgeted runs are load-dependent, not reproducible artifacts: never
+     cached, never served from cache *)
+  let cache = match budget with Some _ -> None | None -> cache in
+  match cache with
+  | None -> finish (cold_analyze ())
+  | Some cs -> (
+      let t0 = Unix.gettimeofday () in
+      let optfp =
+        opt_fingerprint ~cs ~mode ~field_sharing ~simplify ~compact
+          ~max_errors
+      in
+      let run_key =
+        Digest.string
+          (optfp ^ String.concat "" (List.map (fun (_, _, d) -> d) spans))
+      in
+      match
+        (load_marshal cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
+          : cached_run option)
+      with
+      | Some cr ->
+          {
+            results = cr.cr_results;
+            timing =
+              { t_compile = 0.; t_analysis = Unix.gettimeofday () -. t0 };
+            lines = cr.cr_lines;
+            n_functions = cr.cr_n_functions;
+            n_constraints = cr.cr_n_constraints;
+            solver_stats = cr.cr_stats;
+            diagnostics = cr.cr_diags;
+            fdg_scc_count = cr.cr_scc_count;
+            fdg_largest_scc = cr.cr_largest_scc;
+            wavefront_width = cr.cr_wavefront;
+            par = None;
+          }
+      | None ->
+          let ast_key =
+            Digest.string
+              (Printf.sprintf "ast\000%s\000%s"
+                 (match max_errors with
+                 | Some n -> string_of_int n
+                 | None -> "-")
+                 src)
+          in
+          let (pr, prog), t_compile =
+            time (fun () ->
+                let pr =
+                  match
+                    (load_marshal cs.cs_cache ~kind:"ast" ~key:ast_key
+                       ~deps:[]
+                      : Cfront.Cparse.presult option)
+                  with
+                  | Some pr -> pr
+                  | None ->
+                      let pr =
+                        Cfront.Cparse.parse_program_partial ?max_errors src
+                      in
+                      Cache.store cs.cs_cache ~kind:"ast" ~key:ast_key
+                        ~deps:[]
+                        (Marshal.to_string pr []);
+                      pr
+                in
+                (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+          in
+          let unit_of =
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun (f : Cfront.Cast.fundef) ->
+                List.iter
+                  (fun (s, e, d) ->
+                    if
+                      f.Cfront.Cast.f_line >= s
+                      && f.Cfront.Cast.f_line <= e
+                      && not (Hashtbl.mem tbl f.Cfront.Cast.f_name)
+                    then Hashtbl.replace tbl f.Cfront.Cast.f_name d)
+                  spans)
+              (Cfront.Cprog.functions prog);
+            fun name -> Hashtbl.find_opt tbl name
+          in
+          let actx =
+            {
+              Analysis.cc_cache = cs.cs_cache;
+              cc_key_prefix = env_fingerprint prog ^ optfp;
+              cc_unit_of = unit_of;
+            }
+          in
+          let run = finish (pr, prog, t_compile, Some actx) in
+          let cr =
+            {
+              cr_results = run.results;
+              cr_lines = run.lines;
+              cr_n_functions = run.n_functions;
+              cr_n_constraints = run.n_constraints;
+              cr_stats = Analysis.sanitize_stats run.solver_stats;
+              cr_diags = run.diagnostics;
+              cr_scc_count = run.fdg_scc_count;
+              cr_largest_scc = run.fdg_largest_scc;
+              cr_wavefront = run.wavefront_width;
+            }
+          in
+          Cache.store cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
+            (Marshal.to_string cr []);
+          run)
 
 (** Run one mode on C source, recovering from lexer/parser errors: globals
     that fail to parse are dropped (with a diagnostic), function bodies
     that fail are demoted to prototypes and reported as degraded outcomes.
     Raises only for faults that leave nothing to analyze (e.g.
     [Cfront.Cprog.Frontend_error] from table construction). *)
-let run_source ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    ?compact ?budget ?jobs ?max_errors (src : string) : run =
-  let (pr, prog), t_compile =
-    time (fun () ->
-        let pr = Cfront.Cparse.parse_program_partial ?max_errors src in
-        (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
-  in
-  let env, results, t_analysis =
-    analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs mode prog
-  in
-  let fdg = Fdg.build prog in
-  let results =
-    {
-      results with
-      Report.outcomes =
-        results.Report.outcomes
-        @ List.map
-            (fun (name, reason) -> (name, Analysis.Degraded reason))
-            pr.Cfront.Cparse.pr_degraded;
-    }
-  in
-  {
-    results;
-    timing = { t_compile; t_analysis };
-    lines = Cfront.Cprog.count_lines src;
-    n_functions = List.length (Cfront.Cprog.functions prog);
-    n_constraints = Typequal.Solver.num_vars env.Analysis.store;
-    solver_stats = Analysis.stats env;
-    diagnostics = pr.Cfront.Cparse.pr_diags;
-    fdg_scc_count = Fdg.scc_count fdg;
-    fdg_largest_scc = Fdg.largest_scc fdg;
-    wavefront_width = Fdg.wavefront_width fdg;
-    par = env.Analysis.par;
-  }
+let run_source ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?max_errors ?cache ?(unit = "<input>") (src : string) : run =
+  run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?max_errors ?cache
+    ~spans:[ (1, max_int, unit_digest unit src) ]
+    src
 
 (** Multi-file projects: the translation units are analyzed as one
     program by concatenation, as a 1990s whole-program analysis would see
     them after preprocessing (each unit already carries the shared
     prototypes from its header, and the generator emits the header as the
     first unit). File boundaries are kept as comments for line
-    accounting. *)
-let concat_sources (files : (string * string) list) : string =
+    accounting — and, when caching, as the unit spans that key per-file
+    invalidation. *)
+let concat_sources_spans (files : (string * string) list) :
+    string * span list =
   let b = Buffer.create 65536 in
+  let line = ref 1 in
+  let spans = ref [] in
   List.iter
     (fun (name, src) ->
       Buffer.add_string b (Printf.sprintf "/* === %s === */\n" name);
+      incr line;
+      let start = !line in
       Buffer.add_string b src;
-      if String.length src > 0 && src.[String.length src - 1] <> '\n' then
-        Buffer.add_char b '\n')
+      let nl =
+        String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 src
+      in
+      let add_nl =
+        String.length src > 0 && src.[String.length src - 1] <> '\n'
+      in
+      if add_nl then Buffer.add_char b '\n';
+      line := !line + nl + (if add_nl then 1 else 0);
+      spans := (start, !line - 1, unit_digest name src) :: !spans)
     files;
-  Buffer.contents b
+  (Buffer.contents b, List.rev !spans)
+
+let concat_sources files = fst (concat_sources_spans files)
 
 let run_sources ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
-    ?max_errors (files : (string * string) list) : run =
-  run_source ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
-    ?max_errors (concat_sources files)
+    ?max_errors ?cache (files : (string * string) list) : run =
+  let src, spans = concat_sources_spans files in
+  run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?max_errors ?cache ~spans src
 
 (** Run both modes, reusing the parse: one row of Table 2. *)
 type row = {

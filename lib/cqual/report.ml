@@ -16,11 +16,12 @@ open Qtypes
 
 type where = Param of int * string | Ret
 
+(* Positions are plain data (no solver-variable back-pointers): the whole
+   {!results} record must survive [Marshal] for the persistent run cache. *)
 type position = {
   p_fun : string;
   p_where : where;
   p_level : int;  (** 1 = contents of the pointer itself *)
-  p_var : Solver.var;
   p_declared : bool;  (** const written in the source at this level *)
   p_levels : (string * string) option;
       (** inferred [least, greatest] level names when the measured
@@ -44,9 +45,11 @@ type results = {
 }
 
 (* Walk the declared C type and the translated r-type in parallel,
-   collecting one position per pointer level. *)
+   collecting one position per pointer level. The qualifier variable rides
+   alongside each position internally; {!measure} classifies through it
+   and drops it before publishing. *)
 let positions_of_rt ?(qual = "const") ~fname ~where prog
-    (decl_ty : Cast.ctype) (r : rt) : position list =
+    (decl_ty : Cast.ctype) (r : rt) : (position * Solver.var) list =
   let rec go level decl_ty r acc =
     match (decl_ty, r) with
     | (Cast.TPtr (target, _) | Cast.TArray (target, _, _)), RPtr c ->
@@ -55,18 +58,17 @@ let positions_of_rt ?(qual = "const") ~fname ~where prog
             p_fun = fname;
             p_where = where;
             p_level = level;
-            p_var = c.q;
             p_declared = Cast.has_qual qual (Cast.quals_of target);
             p_levels = None;
           }
         in
-        go (level + 1) target c.contents (pos :: acc)
+        go (level + 1) target c.contents ((pos, c.q) :: acc)
     | _ -> List.rev acc
   in
   go 1 (Cprog.decay (Cprog.expand prog decl_ty)) r []
 
 let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
-    position list =
+    (position * Solver.var) list =
   let params =
     List.concat
       (List.map2
@@ -115,28 +117,28 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
      the inferred level range by name (never raw masks) *)
   let sp = Solver.space store in
   let qi = Typequal.Lattice.Space.find_opt sp qual in
-  let level_range p =
+  let level_range var =
     match qi with
     | Some i when Typequal.Lattice.Space.order sp i <> None ->
         Some
-          ( Typequal.Lattice.Elt.level_name sp i (Solver.least store p.p_var),
-            Typequal.Lattice.Elt.level_name sp i (Solver.greatest store p.p_var)
-          )
+          ( Typequal.Lattice.Elt.level_name sp i (Solver.least store var),
+            Typequal.Lattice.Elt.level_name sp i (Solver.greatest store var) )
     | _ -> None
   in
   let classified =
     List.map
-      (fun p ->
+      (fun (p, var) ->
         let v =
           if budget_trip <> None then Either
           else
-            match Solver.classify_name store p.p_var qual with
+            match Solver.classify_name store var qual with
             | Solver.Forced_up -> Must_const
             | Solver.Forced_down -> Must_not_const
             | Solver.Free -> Either
         in
         let p =
-          if budget_trip <> None then p else { p with p_levels = level_range p }
+          if budget_trip <> None then p
+          else { p with p_levels = level_range var }
         in
         (p, v))
       positions
