@@ -51,7 +51,18 @@ type t = {
   mutable warned_write : bool;
   st : stats;
   mutable tmp_seq : int;  (* per-process temp-name uniquifier *)
+  mu : Mutex.t;  (* guards st, writes_ok, warned_write, tmp_seq: load and
+                    store run concurrently from pool domains *)
 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let next_seq t =
+  locked t (fun () ->
+      t.tmp_seq <- t.tmp_seq + 1;
+      t.tmp_seq)
 
 let stats t = t.st
 
@@ -91,6 +102,7 @@ let open_dir ?(warn = fun _ -> ()) ~ctx dir =
           warned_write = false;
           st = fresh_stats ();
           tmp_seq = 0;
+          mu = Mutex.create ();
         }
   | Error m ->
       warn ("cache disabled: " ^ m);
@@ -112,32 +124,36 @@ let entry_files t =
   | exception _ -> []
 
 (* ------------------------------------------------------------------ *)
-(* Counters                                                            *)
+(* Counters (the [_u] helpers require [t.mu] held)                     *)
 (* ------------------------------------------------------------------ *)
 
-let bump_kind t kind ~hit =
+let bump_kind_u t kind ~hit =
   let h, m = try Hashtbl.find t.st.by_kind kind with Not_found -> (0, 0) in
   Hashtbl.replace t.st.by_kind kind
     (if hit then (h + 1, m) else (h, m + 1))
 
-let evict t path =
+let evict_u t path =
   (try Sys.remove path with _ -> ());
   t.st.evictions <- t.st.evictions + 1
 
-let rejected t ~kind ~path cause =
+let rejected_u t ~kind ~path cause =
   let name = reject_name cause in
   let n = try Hashtbl.find t.st.rejects name with Not_found -> 0 in
   Hashtbl.replace t.st.rejects name (n + 1);
-  bump_kind t kind ~hit:false;
-  evict t path
+  bump_kind_u t kind ~hit:false;
+  evict_u t path
 
 let reject_undecodable t ~kind ~key =
-  (* the load already counted a hit for this entry; re-book it as a miss *)
-  t.st.hits <- t.st.hits - 1;
-  t.st.misses <- t.st.misses + 1;
-  let h, m = try Hashtbl.find t.st.by_kind kind with Not_found -> (1, 0) in
-  Hashtbl.replace t.st.by_kind kind (h - 1, m);
-  rejected t ~kind ~path:(entry_path t ~kind ~key) Undecodable
+  locked t (fun () ->
+      (* the load already counted a hit for this entry; re-book it as a
+         miss *)
+      t.st.hits <- t.st.hits - 1;
+      t.st.misses <- t.st.misses + 1;
+      let h, m =
+        try Hashtbl.find t.st.by_kind kind with Not_found -> (1, 0)
+      in
+      Hashtbl.replace t.st.by_kind kind (h - 1, m);
+      rejected_u t ~kind ~path:(entry_path t ~kind ~key) Undecodable)
 
 (* ------------------------------------------------------------------ *)
 (* Envelope encode/decode                                              *)
@@ -227,26 +243,30 @@ let read_file path =
 let load t ~kind ~key ~deps =
   let path = entry_path t ~kind ~key in
   if not (Sys.file_exists path) then begin
-    t.st.misses <- t.st.misses + 1;
-    bump_kind t kind ~hit:false;
+    locked t (fun () ->
+        t.st.misses <- t.st.misses + 1;
+        bump_kind_u t kind ~hit:false);
     None
   end
   else
     match read_file path with
     | exception _ ->
-        t.st.misses <- t.st.misses + 1;
-        rejected t ~kind ~path Io_error;
+        locked t (fun () ->
+            t.st.misses <- t.st.misses + 1;
+            rejected_u t ~kind ~path Io_error);
         None
     | raw -> (
         match verify ~ctx:t.ctx ~key ~deps raw with
         | Ok payload ->
-            t.st.hits <- t.st.hits + 1;
-            t.st.bytes_read <- t.st.bytes_read + String.length raw;
-            bump_kind t kind ~hit:true;
+            locked t (fun () ->
+                t.st.hits <- t.st.hits + 1;
+                t.st.bytes_read <- t.st.bytes_read + String.length raw;
+                bump_kind_u t kind ~hit:true);
             Some payload
         | Error cause ->
-            t.st.misses <- t.st.misses + 1;
-            rejected t ~kind ~path cause;
+            locked t (fun () ->
+                t.st.misses <- t.st.misses + 1;
+                rejected_u t ~kind ~path cause);
             None)
 
 (* ------------------------------------------------------------------ *)
@@ -272,17 +292,42 @@ let try_take_lock t =
       (try Unix.close fd with _ -> ());
       true
   | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
-      (* stale-lock detection: break locks whose recorded owner is gone
-         (or whose content is unreadable garbage) *)
-      let stale =
-        match read_file path with
-        | s -> (
+      (* Stale-lock detection: break locks whose recorded owner is gone
+         (or whose content is unreadable garbage). Breaking is
+         rename-then-remove, not a bare unlink: [rename] to a unique
+         name atomically elects exactly one breaker, and the renamed
+         file's content is re-checked so that a fresh lock that replaced
+         the stale one between our read and our rename is restored
+         instead of deleted — a bare unlink could delete another
+         process's live lock and let two writers in. *)
+      (match read_file path with
+      | exception _ -> ()
+      | s ->
+          let stale =
             match int_of_string_opt (String.trim s) with
             | Some pid -> not (pid_alive pid)
-            | None -> true)
-        | exception _ -> false
-      in
-      if stale then (try Sys.remove path with _ -> ());
+            | None -> true
+          in
+          if stale then begin
+            let victim =
+              Filename.concat t.dir
+                (Printf.sprintf ".lock.stale.%d.%d" (Unix.getpid ())
+                   (next_seq t))
+            in
+            match Unix.rename path victim with
+            | exception _ -> () (* another breaker won; retry the loop *)
+            | () ->
+                let unchanged =
+                  match read_file victim with
+                  | s' -> s' = s
+                  | exception _ -> false
+                in
+                if unchanged then (try Sys.remove victim with _ -> ())
+                else
+                  (* we grabbed a lock re-created after our read: put it
+                     back and let its owner finish *)
+                  (try Unix.rename victim path with _ -> ())
+          end);
       false
   | exception _ -> false
 
@@ -308,17 +353,21 @@ let with_lock t f =
 (* ------------------------------------------------------------------ *)
 
 let disable_writes t msg =
-  t.writes_ok <- false;
-  if not t.warned_write then begin
-    t.warned_write <- true;
-    t.warn ("cache writes disabled: " ^ msg)
-  end
+  let warn_now =
+    locked t (fun () ->
+        t.writes_ok <- false;
+        if t.warned_write then false
+        else begin
+          t.warned_write <- true;
+          true
+        end)
+  in
+  if warn_now then t.warn ("cache writes disabled: " ^ msg)
 
 let write_atomic t ~path blob =
-  t.tmp_seq <- t.tmp_seq + 1;
   let tmp =
     Filename.concat t.dir
-      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) t.tmp_seq)
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) (next_seq t))
   in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   match
@@ -338,7 +387,8 @@ let write_atomic t ~path blob =
       raise e
 
 let store t ~kind ~key ~deps payload =
-  if not t.writes_ok then t.st.write_skips <- t.st.write_skips + 1
+  if not (locked t (fun () -> t.writes_ok)) then
+    locked t (fun () -> t.st.write_skips <- t.st.write_skips + 1)
   else
     let path = entry_path t ~kind ~key in
     let blob = encode ~ctx:t.ctx ~key ~deps payload in
@@ -346,7 +396,9 @@ let store t ~kind ~key ~deps payload =
       try
         with_lock t (fun () ->
             write_atomic t ~path blob;
-            t.st.bytes_written <- t.st.bytes_written + String.length blob)
+            locked t (fun () ->
+                t.st.bytes_written <-
+                  t.st.bytes_written + String.length blob))
       with
       | Unix.Unix_error (e, _, _) ->
           disable_writes t (Unix.error_message e);
@@ -358,7 +410,8 @@ let store t ~kind ~key ~deps payload =
           disable_writes t "write failed";
           false
     in
-    if not wrote then t.st.write_skips <- t.st.write_skips + 1
+    if not wrote then
+      locked t (fun () -> t.st.write_skips <- t.st.write_skips + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Stats rendering                                                     *)

@@ -27,9 +27,16 @@
 
     Writes are crash-safe: payloads go to a temporary file, are fsynced,
     and enter the directory by atomic [rename] while holding a pid-stamped
-    lock file ([.lock], created with [O_CREAT|O_EXCL]; locks whose owner
-    is dead are broken). A writer that cannot take the lock skips the
-    write — caching is an optimization, never a wait. *)
+    lock file ([.lock], created with [O_CREAT|O_EXCL]). Locks whose
+    recorded owner is dead are broken by rename-then-remove: the breaker
+    atomically renames the stale lock to a unique name (so at most one
+    breaker wins) and re-checks its content before deleting, restoring any
+    lock that was re-created in the window. A writer that cannot take the
+    lock skips the write — caching is an optimization, never a wait.
+
+    All operations are thread- and domain-safe: the statistics counters
+    are guarded by an internal mutex, so [load]/[store]/
+    [reject_undecodable] may be called concurrently from pool domains. *)
 
 type t
 
@@ -112,4 +119,6 @@ val off_deps : int
 
 val with_lock : t -> (unit -> unit) -> bool
 (** run [f] holding the directory lock; [false] if the lock could not be
-    taken (f not run). Breaks locks whose recorded pid is dead. *)
+    taken (f not run). Breaks locks whose recorded pid is dead, via
+    rename-then-remove so concurrent breakers cannot delete a live
+    lock. *)

@@ -2004,9 +2004,29 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
                       | None -> ());
                       iface_digest pt
                   | exception Unencodable ->
-                      Digest.string
-                        ("unencodable\000" ^ cc.cc_key_prefix
-                        ^ String.concat "," sccs.(i))))
+                      (* no interface bytes to digest, so chain
+                         dependents to the member units instead: editing
+                         any member body changes its unit digest and
+                         hence this digest, invalidating their envelopes.
+                         A member whose unit is unknown makes the digest
+                         unique to this run, so dependents go cold rather
+                         than warm-hit against unverifiable state. *)
+                      let b = Buffer.create 128 in
+                      Buffer.add_string b "unencodable\000";
+                      Buffer.add_string b cc.cc_key_prefix;
+                      List.iter
+                        (fun name ->
+                          Buffer.add_string b name;
+                          Buffer.add_char b '\000';
+                          Buffer.add_string b
+                            (match cc.cc_unit_of name with
+                            | Some d -> d
+                            | None ->
+                                Printf.sprintf "?%d.%.9f" (Unix.getpid ())
+                                  (Unix.gettimeofday ()));
+                          Buffer.add_char b '\000')
+                        sccs.(i);
+                      Digest.string (Buffer.contents b)))
         | _ -> ());
         (* publish before releasing dependents: they instantiate us *)
         (match r.tr_scheme with

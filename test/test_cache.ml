@@ -202,6 +202,55 @@ let test_stale_lock_broken () =
   Alcotest.(check int) "store went through" 1
     (List.length (Cache.entry_files t))
 
+(* ---------------- domain safety ---------------- *)
+
+(* the stats counters are mutex-guarded: concurrent loads and stores from
+   pool domains must not lose updates — every operation is counted exactly
+   once *)
+let test_concurrent_stats () =
+  let dir = fresh_dir () in
+  let t = open_exn dir in
+  let present =
+    List.init 8 (fun i -> Digest.string (Printf.sprintf "present-%d" i))
+  in
+  List.iter (fun k -> Cache.store t ~kind:"k" ~key:k ~deps:[] payload) present;
+  let ndom = 4 in
+  let worker d () =
+    List.iter
+      (fun k ->
+        match Cache.load t ~kind:"k" ~key:k ~deps:[] with
+        | Some p -> assert (p = payload)
+        | None -> failwith "present entry missed")
+      present;
+    for i = 0 to 7 do
+      ignore
+        (Cache.load t ~kind:"k"
+           ~key:(Digest.string (Printf.sprintf "absent-%d-%d" d i))
+           ~deps:[])
+    done;
+    for i = 0 to 3 do
+      Cache.store t ~kind:"k"
+        ~key:(Digest.string (Printf.sprintf "new-%d-%d" d i))
+        ~deps:[] payload
+    done
+  in
+  let doms = List.init ndom (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join doms;
+  let st = Cache.stats t in
+  Alcotest.(check int) "hits exact" (ndom * 8) st.Cache.hits;
+  Alcotest.(check int) "misses exact" (ndom * 8) st.Cache.misses;
+  let hm =
+    match Hashtbl.find_opt st.Cache.by_kind "k" with
+    | Some hm -> hm
+    | None -> (0, 0)
+  in
+  Alcotest.(check (pair int int)) "by-kind exact" (ndom * 8, ndom * 8) hm;
+  (* every concurrent store either landed as a distinct file or was
+     counted as skipped (lock contention) — none may vanish uncounted *)
+  Alcotest.(check int) "stores accounted"
+    (8 + (ndom * 4))
+    (List.length (Cache.entry_files t) + st.Cache.write_skips)
+
 (* ---------------- resilience: unusable cache paths ---------------- *)
 
 let test_open_on_file_path () =
@@ -364,6 +413,8 @@ let tests =
     Alcotest.test_case "live lock respected" `Quick
       test_lock_held_by_live_process;
     Alcotest.test_case "stale lock broken" `Quick test_stale_lock_broken;
+    Alcotest.test_case "concurrent domains: stats counted exactly" `Quick
+      test_concurrent_stats;
     Alcotest.test_case "unusable cache path runs cold" `Quick
       test_open_on_file_path;
     Alcotest.test_case "driver: cold/warm/corrupt identity" `Slow
