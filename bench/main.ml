@@ -115,11 +115,20 @@ let jstats (s : TS.stats) =
       ("worklist_pops", ji s.TS.worklist_pops);
       ("solve_s", jf s.TS.solve_s);
       ("absorb_s", jf s.TS.absorb_s);
+      ("congen_s", jf s.TS.congen_s);
+      ("generalize_s", jf s.TS.generalize_s);
+      ("compact_s", jf s.TS.compact_s);
+      ("instantiate_s", jf s.TS.instantiate_s);
+      ("report_s", jf s.TS.report_s);
       ("scheme_vars_before", ji s.TS.scheme_vars_before);
       ("scheme_vars_after", ji s.TS.scheme_vars_after);
       ("scheme_edges_before", ji s.TS.scheme_edges_before);
       ("scheme_edges_after", ji s.TS.scheme_edges_after);
       ("instantiations_memo_hits", ji s.TS.instantiations_memo_hits);
+      ("memo_candidates", ji s.TS.memo_candidates);
+      ("memo_misses", ji s.TS.memo_misses);
+      ("memo_reject_nonflat_ret", ji s.TS.memo_reject_nonflat_ret);
+      ("memo_reject_may_violate", ji s.TS.memo_reject_may_violate);
       ("empty_batches_skipped", ji s.TS.empty_batches_skipped);
       ("heap_words", ji s.TS.heap_words);
       ("top_heap_words", ji s.TS.top_heap_words);
@@ -133,6 +142,10 @@ let cache_used = ref false
 
 (* memory + machine context, attached to every bench section so the perf
    trajectory tracks heap growth alongside wall time *)
+(* the GC profile the run applied (TYPEQUAL_GC), recorded in every env
+   block so perf trajectories are comparable *)
+let gc_profile = ref "off"
+
 let jenv () =
   let g = Gc.quick_stat () in
   Jobj
@@ -141,6 +154,7 @@ let jenv () =
       ("top_heap_words", ji g.Gc.top_heap_words);
       ("cores_available", ji (Typequal.Pool.cores_available ()));
       ("cache_used", jb !cache_used);
+      ("gc_profile", Jstr !gc_profile);
     ]
 
 let bench_sections : (string * json) list ref = ref []
@@ -1185,9 +1199,10 @@ let ref_digest sp (st, v) =
   done;
   Buffer.contents b
 
-(* the observable report of a scale run, rendered to a string (wall-clock
-   and heap fields excluded): must be identical across job counts *)
-let scale_digest (r : Report.results) (st : TS.stats) =
+(* the user-visible report of a run, rendered to a string: identical
+   across job counts AND across --no-compact (compaction/memoization are
+   observationally invisible) *)
+let report_digest (r : Report.results) =
   let b = Buffer.create 4096 in
   List.iter
     (fun pv -> Buffer.add_string b (Fmt.str "%a\n" Report.pp_position pv))
@@ -1197,6 +1212,13 @@ let scale_digest (r : Report.results) (st : TS.stats) =
        r.Report.declared r.Report.possible r.Report.must r.Report.total
        r.Report.type_errors);
   List.iter (fun w -> Buffer.add_string b ("warning " ^ w ^ "\n")) r.Report.warnings;
+  Buffer.contents b
+
+(* the report plus the structural solver counters (wall-clock and heap
+   fields excluded): must be identical across job counts *)
+let scale_digest (r : Report.results) (st : TS.stats) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (report_digest r);
   Buffer.add_string b
     (Printf.sprintf "vars=%d unified=%d edges=%d deduped=%d cycles=%d pops=%d\n"
        st.TS.vars_created st.TS.vars_unified st.TS.edges_added
@@ -1340,6 +1362,145 @@ let scale () =
   output_char oc '\n';
   close_out oc;
   Fmt.pr "@.wrote BENCH_scale.json@.";
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Hot path: per-phase wall-time breakdown (congen / generalize /      *)
+(* compact / instantiate / solve / absorb / report), the memo's hit    *)
+(* and rejection counters, and the compact/no-compact and jobs-1/4     *)
+(* parity checks — on the CI-sized multi-file corpus by default        *)
+(* (TYPEQUAL_HOTPATH_CORPUS=mega for the million-line one,             *)
+(* TYPEQUAL_HOTPATH_LINES=N to resize). Writes BENCH_hotpath.json.     *)
+(* TYPEQUAL_HOTPATH_MAX_US_PER_LINE, when set (CI's perf-smoke soft    *)
+(* ceiling), fails the section if the serial compact run exceeds it.   *)
+(* ------------------------------------------------------------------ *)
+
+let hotpath () =
+  Fmt.pr "@.=== Hot path: phase breakdown, memo, splice merge ===@.";
+  let b =
+    match Sys.getenv_opt "TYPEQUAL_HOTPATH_CORPUS" with
+    | Some "mega" -> List.hd Cbench.Suite.scale
+    | _ -> List.hd Cbench.Suite.scale_smoke
+  in
+  let target =
+    match Sys.getenv_opt "TYPEQUAL_HOTPATH_LINES" with
+    | Some v -> ( try int_of_string v with _ -> b.Cbench.Suite.b_lines)
+    | None -> b.Cbench.Suite.b_lines
+  in
+  let files =
+    Cbench.Gen.generate_project ~seed:b.Cbench.Suite.b_seed
+      ~target_lines:target ()
+  in
+  let lines = Cbench.Gen.project_lines files in
+  let prog = Driver.compile (Driver.concat_sources files) in
+  let nfun = List.length (Cfront.Cprog.functions prog) in
+  Fmt.pr "corpus %s: %d lines, %d functions@.@." b.Cbench.Suite.b_name lines
+    nfun;
+  (* one measured analysis per configuration; Report.measure is timed
+     into the Report phase the way the CLI driver does it (minus the
+     nested solve) *)
+  let run ~jobs ~compact =
+    let t0 = Unix.gettimeofday () in
+    let env, ifaces = Analysis.run ~jobs ~compact Analysis.Poly prog in
+    let st = env.Analysis.store in
+    let t1 = Unix.gettimeofday () in
+    let solve0 = (TS.stats st).TS.solve_s in
+    let r = Report.measure env ifaces in
+    let t2 = Unix.gettimeofday () in
+    let solve_d = (TS.stats st).TS.solve_s -. solve0 in
+    TS.note_phase st TS.Report (Float.max 0. (t2 -. t1 -. solve_d));
+    (t2 -. t0, r, Analysis.stats env)
+  in
+  let configs = [ (1, true); (4, true); (1, false); (4, false) ] in
+  let results =
+    List.map (fun (jobs, compact) -> ((jobs, compact), run ~jobs ~compact))
+      configs
+  in
+  Fmt.pr "%-14s %10s %8s %7s %7s %7s %7s %7s %7s %7s@." "config"
+    "analyze(s)" "us/line" "congen" "genrlz" "compct" "instnt" "solve"
+    "absorb" "report";
+  let rows = ref [] in
+  List.iter
+    (fun ((jobs, compact), (t, _, st)) ->
+      let upl = t *. 1e6 /. float lines in
+      Fmt.pr "jobs %d %-7s %10.3f %8.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f@."
+        jobs
+        (if compact then "compact" else "nocmpct")
+        t upl st.TS.congen_s st.TS.generalize_s st.TS.compact_s
+        st.TS.instantiate_s st.TS.solve_s st.TS.absorb_s st.TS.report_s;
+      rows :=
+        Jobj
+          [
+            ("jobs", ji jobs);
+            ("compact", jb compact);
+            ("analyze_s", jf t);
+            ("us_per_line", jf upl);
+            ("solver", jstats st);
+          ]
+        :: !rows)
+    results;
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+  let t11, r11, s11 = List.assoc (1, true) results in
+  let _, r41, s41 = List.assoc (4, true) results in
+  let _, r10, _ = List.assoc (1, false) results in
+  let _, r40, _ = List.assoc (4, false) results in
+  Fmt.pr "@.";
+  check "report+counters at jobs=4 identical to serial"
+    (scale_digest r41 s41 = scale_digest r11 s11)
+    "";
+  check "--no-compact report identical (jobs 1)"
+    (report_digest r10 = report_digest r11)
+    "";
+  check "--no-compact report identical (jobs 4)"
+    (report_digest r40 = report_digest r11)
+    "";
+  check "instantiation memo fires at scale"
+    (s11.TS.instantiations_memo_hits > 0)
+    (Printf.sprintf " (%d hits / %d candidates)"
+       s11.TS.instantiations_memo_hits s11.TS.memo_candidates);
+  check "memo counters identical across jobs"
+    ((s11.TS.instantiations_memo_hits, s11.TS.memo_candidates,
+      s11.TS.memo_misses, s11.TS.memo_reject_nonflat_ret,
+      s11.TS.memo_reject_may_violate)
+    = (s41.TS.instantiations_memo_hits, s41.TS.memo_candidates,
+       s41.TS.memo_misses, s41.TS.memo_reject_nonflat_ret,
+       s41.TS.memo_reject_may_violate))
+    "";
+  let serial_upl = t11 *. 1e6 /. float lines in
+  (match Sys.getenv_opt "TYPEQUAL_HOTPATH_MAX_US_PER_LINE" with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some ceiling ->
+          check "serial us/line under the perf-smoke ceiling"
+            (serial_upl <= ceiling)
+            (Printf.sprintf " (%.2f <= %.2f)" serial_upl ceiling)
+      | None -> ())
+  | None -> ());
+  Fmt.pr "%s@."
+    (if !ok then "ALL HOTPATH CHECKS PASSED" else "HOTPATH CHECKS FAILED");
+  let buf = Buffer.create 4096 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
+         ("corpus", Jstr b.Cbench.Suite.b_name);
+         ("lines", ji lines);
+         ("functions", ji nfun);
+         ("mode", Jstr "poly");
+         ("serial_us_per_line", jf serial_upl);
+         ("runs", Jlist (List.rev !rows));
+         ("all_checks_passed", jb !ok);
+       ]);
+  let oc = open_out "BENCH_hotpath.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_hotpath.json@.";
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1543,6 +1704,13 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let want s = args = [] || List.mem s args || List.mem "all" args in
   Fmt.pr "A Theory of Type Qualifiers (PLDI 1999) — experiment harness@.";
+  (match Typequal.Gctune.setup () with
+  | Ok d ->
+      gc_profile := d;
+      if d <> "off" then Fmt.pr "gc profile: %s@." d
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 2);
   if want "table1" then table1 ();
   if want "table2" || want "figure6" then begin
     let rows = table2_rows () in
@@ -1558,6 +1726,7 @@ let () =
   if want "extensions" then extensions ();
   if want "micro" then micro ();
   if want "cache" then cache_bench ();
+  if want "hotpath" then hotpath ();
   (* scale only when asked for by name: the corpus is a million lines *)
   if List.mem "scale" args || List.mem "all" args then scale ();
   write_json ()

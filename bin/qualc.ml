@@ -51,7 +51,12 @@ let spacekind_name = function
   | STaint -> "taint"
 
 let main expr file poly run_it spacekind stats no_compact lattice dump_lattice
-    cache_dir =
+    cache_dir gc =
+  (match Typequal.Gctune.setup ?flag:gc () with
+  | Ok _ -> ()
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 2);
   let space, hooks =
     match lattice with
     | Some path -> (space_of_lattice_file path, Infer.no_hooks)
@@ -224,11 +229,21 @@ let cache_dir =
            runs cold. Ignored with $(b,--run) or $(b,--stats), whose output \
            is not a pure function of the input.")
 
+let gc =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gc" ] ~docv:"SPEC"
+        ~doc:
+          "Tune the OCaml runtime: $(b,batch), $(b,off), or a \
+           comma-separated $(b,k=v) list. Defaults to \\$TYPEQUAL_GC, \
+           else off.")
+
 let cmd =
   let doc = "qualified type inference for the example language (PLDI 1999)" in
   Cmd.v (Cmd.info "qualc" ~doc)
     Term.(
       const main $ expr $ file $ poly $ run_it $ spacekind $ stats
-      $ no_compact $ lattice $ dump_lattice $ cache_dir)
+      $ no_compact $ lattice $ dump_lattice $ cache_dir $ gc)
 
 let () = exit (Cmd.eval cmd)

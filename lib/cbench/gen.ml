@@ -383,6 +383,12 @@ let generate_project ?(profile = default_profile) ?files ?(rings = 3) ~seed
     Buffer.add_string protos (Printf.sprintf "char *%s(char *s);\n" name)
   done;
   let helpers = List.rev !helpers in
+  (* a mutually recursive parity pair, as real parsers have (the
+     single-file generator has the same pair): a flat int->int signature
+     every file's readers call across the project *)
+  let par_even = fresh "par_even" and par_odd = fresh "par_odd" in
+  Buffer.add_string protos (Printf.sprintf "int %s(int n);\n" par_even);
+  Buffer.add_string protos (Printf.sprintf "int %s(int n);\n" par_odd);
   let funs : gfun list ref = ref [] in
   let call_existing ~arg =
     match !funs with
@@ -427,7 +433,12 @@ let generate_project ?(profile = default_profile) ?files ?(rings = 3) ~seed
               out "  return %s(s + 1);" name;
               out "}";
               out "")
-        helpers
+        helpers;
+      out "int %s(int n) { if (n == 0) return 1; return %s(n - 1); }"
+        par_even par_odd;
+      out "int %s(int n) { if (n == 0) return 0; return %s(n - 1); }"
+        par_odd par_even;
+      out ""
     end;
     (* this file's members of every mutual-recursion ring *)
     for r = 0 to rings - 1 do
@@ -536,6 +547,7 @@ let generate_project ?(profile = default_profile) ?files ?(rings = 3) ~seed
               out "    if (s[i] == k) return i;";
               out "    i++;";
               out "  }";
+              out "  if (%s(k)) return -3;" par_even;
               out "  if (%s(%d, s) > 0) return -2;"
                 (ring_name (Rng.int rng rings) (Rng.int rng nfiles))
                 (Rng.int rng 8);

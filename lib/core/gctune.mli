@@ -1,0 +1,27 @@
+(** Garbage-collector tuning for batch analysis runs: a small,
+    deterministic knob over [Gc.set]. See the implementation header for
+    the rationale and the benchmarked [Batch] numbers. *)
+
+type t =
+  | Off  (** leave the runtime untouched *)
+  | Batch  (** the tuned batch-analysis profile *)
+  | Custom of (string * int) list
+      (** explicit control-field assignments, validated by {!parse} *)
+
+val batch_minor_words : int
+(** the [Batch] profile's minor heap size, in words *)
+
+val batch_space_overhead : int
+(** the [Batch] profile's [space_overhead] *)
+
+val parse : string -> (t, string) result
+(** ["off"]/[""] → [Off]; ["batch"] → [Batch]; a comma-separated [k=v]
+    list → [Custom]. Unknown keys and non-integer values are [Error]. *)
+
+val apply : t -> unit
+(** apply via [Gc.set]; [Off] is a no-op *)
+
+val setup : ?flag:string -> unit -> (string, string) result
+(** resolve [?flag] (wins when non-empty) against the [TYPEQUAL_GC]
+    environment variable and apply; returns a description of the applied
+    setting or the parse error *)

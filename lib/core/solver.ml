@@ -195,11 +195,25 @@ and t = {
   mutable s_pops : int;
   mutable s_solve_s : float;
   mutable s_absorb_s : float;
+  (* per-phase wall time, accumulated here so one record travels with the
+     store: compact/instantiate are credited by this module, the analysis
+     phases (congen/generalize/report) by the client via [note_phase] *)
+  mutable s_congen_s : float;
+  mutable s_generalize_s : float;
+  mutable s_compact_s : float;
+  mutable s_instantiate_s : float;
+  mutable s_report_s : float;
   mutable s_sv_before : int;
   mutable s_sv_after : int;
   mutable s_se_before : int;
   mutable s_se_after : int;
   mutable s_memo_hits : int;
+  (* why instantiation-memo candidates were rejected (or missed): the
+     counters that keep the memo from silently going dead again *)
+  mutable s_memo_cands : int;
+  mutable s_memo_nonflat : int;
+  mutable s_memo_violate : int;
+  mutable s_memo_misses : int;
   mutable s_skipped_batches : int;
 }
 
@@ -224,11 +238,20 @@ type stats = {
   worklist_pops : int;
   solve_s : float;
   absorb_s : float;
+  congen_s : float;
+  generalize_s : float;
+  compact_s : float;
+  instantiate_s : float;
+  report_s : float;
   scheme_vars_before : int;
   scheme_vars_after : int;
   scheme_edges_before : int;
   scheme_edges_after : int;
   instantiations_memo_hits : int;
+  memo_candidates : int;
+  memo_reject_nonflat_ret : int;
+  memo_reject_may_violate : int;
+  memo_misses : int;
   empty_batches_skipped : int;
   heap_words : int;
   top_heap_words : int;
@@ -283,11 +306,20 @@ let create ?(cycle_elim = true) space =
     s_pops = 0;
     s_solve_s = 0.;
     s_absorb_s = 0.;
+    s_congen_s = 0.;
+    s_generalize_s = 0.;
+    s_compact_s = 0.;
+    s_instantiate_s = 0.;
+    s_report_s = 0.;
     s_sv_before = 0;
     s_sv_after = 0;
     s_se_before = 0;
     s_se_after = 0;
     s_memo_hits = 0;
+    s_memo_cands = 0;
+    s_memo_nonflat = 0;
+    s_memo_violate = 0;
+    s_memo_misses = 0;
     s_skipped_batches = 0;
   }
 
@@ -310,11 +342,20 @@ let stats t =
     worklist_pops = t.s_pops;
     solve_s = t.s_solve_s;
     absorb_s = t.s_absorb_s;
+    congen_s = t.s_congen_s;
+    generalize_s = t.s_generalize_s;
+    compact_s = t.s_compact_s;
+    instantiate_s = t.s_instantiate_s;
+    report_s = t.s_report_s;
     scheme_vars_before = t.s_sv_before;
     scheme_vars_after = t.s_sv_after;
     scheme_edges_before = t.s_se_before;
     scheme_edges_after = t.s_se_after;
     instantiations_memo_hits = t.s_memo_hits;
+    memo_candidates = t.s_memo_cands;
+    memo_reject_nonflat_ret = t.s_memo_nonflat;
+    memo_reject_may_violate = t.s_memo_violate;
+    memo_misses = t.s_memo_misses;
     empty_batches_skipped = t.s_skipped_batches;
     heap_words = (Gc.quick_stat ()).Gc.heap_words;
     top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
@@ -327,10 +368,45 @@ let merge_aux_stats t (s : stats) =
   t.s_se_before <- t.s_se_before + s.scheme_edges_before;
   t.s_se_after <- t.s_se_after + s.scheme_edges_after;
   t.s_memo_hits <- t.s_memo_hits + s.instantiations_memo_hits;
+  t.s_memo_cands <- t.s_memo_cands + s.memo_candidates;
+  t.s_memo_nonflat <- t.s_memo_nonflat + s.memo_reject_nonflat_ret;
+  t.s_memo_violate <- t.s_memo_violate + s.memo_reject_may_violate;
+  t.s_memo_misses <- t.s_memo_misses + s.memo_misses;
+  (* phase times from worker stores fold in as CPU seconds: in a parallel
+     run the per-phase columns sum work across domains (wall time is what
+     analyze_s reports); solve/absorb stay shared-store-side as before *)
+  t.s_congen_s <- t.s_congen_s +. s.congen_s;
+  t.s_generalize_s <- t.s_generalize_s +. s.generalize_s;
+  t.s_compact_s <- t.s_compact_s +. s.compact_s;
+  t.s_instantiate_s <- t.s_instantiate_s +. s.instantiate_s;
   t.s_skipped_batches <- t.s_skipped_batches + s.empty_batches_skipped
 
 let note_memo_hit t = t.s_memo_hits <- t.s_memo_hits + 1
+let note_memo_candidate t = t.s_memo_cands <- t.s_memo_cands + 1
+let note_memo_reject_nonflat_ret t = t.s_memo_nonflat <- t.s_memo_nonflat + 1
+
+let note_memo_reject_may_violate t =
+  t.s_memo_violate <- t.s_memo_violate + 1
+
+let note_memo_miss t = t.s_memo_misses <- t.s_memo_misses + 1
 let note_skipped_batch t = t.s_skipped_batches <- t.s_skipped_batches + 1
+
+type phase = Congen | Generalize | Compact | Instantiate | Report
+
+let note_phase t p dt =
+  match p with
+  | Congen -> t.s_congen_s <- t.s_congen_s +. dt
+  | Generalize -> t.s_generalize_s <- t.s_generalize_s +. dt
+  | Compact -> t.s_compact_s <- t.s_compact_s +. dt
+  | Instantiate -> t.s_instantiate_s <- t.s_instantiate_s +. dt
+  | Report -> t.s_report_s <- t.s_report_s +. dt
+
+let phase_seconds t = function
+  | Congen -> t.s_congen_s
+  | Generalize -> t.s_generalize_s
+  | Compact -> t.s_compact_s
+  | Instantiate -> t.s_instantiate_s
+  | Report -> t.s_report_s
 
 let pp_stats ppf s =
   Fmt.pf ppf
@@ -342,6 +418,14 @@ let pp_stats ppf s =
     s.cycles_collapsed s.incr_solves s.full_solves s.worklist_pops s.solve_s
     s.absorb_s s.scheme_vars_before s.scheme_vars_after s.scheme_edges_before
     s.scheme_edges_after s.instantiations_memo_hits s.empty_batches_skipped;
+  Fmt.pf ppf
+    "; memo: %d candidates, %d misses, %d nonflat-ret, %d may-violate"
+    s.memo_candidates s.memo_misses s.memo_reject_nonflat_ret
+    s.memo_reject_may_violate;
+  Fmt.pf ppf
+    "; phases: congen %.3fs generalize %.3fs compact %.3fs instantiate \
+     %.3fs report %.3fs"
+    s.congen_s s.generalize_s s.compact_s s.instantiate_s s.report_s;
   Fmt.pf ppf "; heap %d words (peak %d), %d cores" s.heap_words
     s.top_heap_words s.cores_available
 
@@ -1060,6 +1144,7 @@ let scheme_atoms s = s.atoms
    serial run). A bound variable is never freshened; a free variable that
    [bind] does not resolve is used as-is, exactly as before. *)
 let instantiate ?bind t s =
+  let t0 = Unix.gettimeofday () in
   let bound v = match bind with Some f -> f v | None -> None in
   let map = Hashtbl.create (List.length s.locals) in
   List.iter
@@ -1079,6 +1164,7 @@ let instantiate ?bind t s =
       | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
       | Avv (a, b, mask, reason) -> add_leq_vv ?reason ~mask t (rn a) (rn b))
     s.atoms;
+  t.s_instantiate_s <- t.s_instantiate_s +. (Unix.gettimeofday () -. t0);
   rn
 
 (* ------------------------------------------------------------------ *)
@@ -1112,8 +1198,49 @@ let batch_content b = (b.b_vars, b.b_atoms)
    creation order} (one tight ascending loop over the exported arena
    segment), so the absorbing store allocates the same number of variables
    in the same sequence as a serial run that had generated the batch's
-   constraints directly. Returns the realized renaming. *)
+   constraints directly. Returns the realized renaming.
+
+   Splice-fast path: [export] cuts [b_vars] straight out of the source
+   arena's object column, so a batch variable's [id] {e is} its index in
+   [b_vars] (checked by identity below — a foreign or out-of-segment
+   variable simply maps to itself, like the Hashtbl miss it replaces).
+   The renaming is therefore a flat array indexed by creation id — no
+   per-variable hashing, no boxed key allocation — while every atom still
+   replays through the normal [add_leq_*] entry points so dedup and
+   online cycle elimination fire exactly as in a serial run (counter
+   parity with {!absorb_replay} is property-tested). *)
 let absorb t ?bind (b : batch) =
+  let t0 = Unix.gettimeofday () in
+  let bound v = match bind with Some f -> f v | None -> None in
+  let n = Array.length b.b_vars in
+  if n = 0 then begin
+    t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
+    fun _ -> None
+  end
+  else begin
+    let ren = Array.make n b.b_vars.(0) in
+    for i = 0 to n - 1 do
+      let v = b.b_vars.(i) in
+      ren.(i) <-
+        (match bound v with
+        | Some g -> g
+        | None -> fresh ~name:v.vname t)
+    done;
+    let in_seg v = v.id >= 0 && v.id < n && b.b_vars.(v.id) == v in
+    let rn v = if in_seg v then Array.unsafe_get ren v.id else v in
+    for i = 0 to Array.length b.b_atoms - 1 do
+      match b.b_atoms.(i) with
+      | Avc (v, c, mask, reason) -> add_leq_vc ?reason ~mask t (rn v) c
+      | Acv (c, v, mask, reason) -> add_leq_cv ?reason ~mask t c (rn v)
+      | Avv (x, y, mask, reason) -> add_leq_vv ?reason ~mask t (rn x) (rn y)
+    done;
+    t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
+    fun v -> if in_seg v then Some ren.(v.id) else None
+  end
+
+(* The pre-splice merge: identical semantics through a uid-keyed Hashtbl
+   renaming. Kept as the parity oracle for the fast path above. *)
+let absorb_replay t ?bind (b : batch) =
   let t0 = Unix.gettimeofday () in
   let bound v = match bind with Some f -> f v | None -> None in
   let n = Array.length b.b_vars in
@@ -1445,18 +1572,29 @@ let scheme_size s = List.length s.atoms
    and variables still mentioned. The atom-dedup keys are packed into
    int-keyed [Iset] entries exactly as in {!simplify_scheme}, but over
    [uid]s (compaction runs where variables of two stores can mix). *)
-let compact t ~(interface : var list) (s : scheme) : scheme =
+let compact ?(count = true) t ~(interface : var list) (s : scheme) : scheme =
+  let c0 = Unix.gettimeofday () in
   let sp = t.sp in
-  t.s_sv_before <- t.s_sv_before + List.length s.locals;
-  t.s_se_before <- t.s_se_before + List.length s.atoms;
-  let local_uids = Hashtbl.create 64 in
+  let nl = List.length s.locals and na = List.length s.atoms in
+  if count then begin
+    t.s_sv_before <- t.s_sv_before + nl;
+    t.s_se_before <- t.s_se_before + na
+  end;
+  (* scratch tables sized to the scheme: most schemes are a handful of
+     locals and atoms, and this runs once per SCC — fixed 64-bucket
+     tables dominated the pass's allocation at scale *)
+  let local_uids = Hashtbl.create (max 8 nl) in
   List.iter (fun v -> Hashtbl.replace local_uids v.uid ()) s.locals;
-  let iface = Hashtbl.create 64 in
+  let iface = Hashtbl.create (max 8 (List.length interface)) in
   List.iter (fun v -> Hashtbl.replace iface v.uid ()) interface;
   (* dedup + vacuous-drop filter; [seen] persists across passes: a key can
      only name a removed atom if one of its endpoints was eliminated, and
      composition never reproduces atoms on eliminated endpoints *)
-  let seen = Iset.create ~cap:128 () in
+  let seen =
+    (* Iset caps are powers of two (the probe mask requires it) *)
+    let rec pow2 c = if c >= na || c >= 128 then c else pow2 (2 * c) in
+    Iset.create ~cap:(pow2 16) ()
+  in
   let vacuous = function
     | Avc (_, c, m, _) -> Elt.leq_masked sp ~mask:m (Elt.top sp) c
     | Acv (c, _, m, _) -> Elt.leq_masked sp ~mask:m c (Elt.bottom sp)
@@ -1469,13 +1607,14 @@ let compact t ~(interface : var list) (s : scheme) : scheme =
   in
   let fresh_atom a = (not (vacuous a)) && not (seen_before a) in
   let atoms = ref (List.filter fresh_atom s.atoms) in
-  let eliminated = Hashtbl.create 32 in
+  let eliminated = Hashtbl.create (max 8 nl) in
   let changed = ref true in
   let passes = ref 0 in
   while !changed && !passes < 64 do
     changed := false;
     incr passes;
-    let lowers = Hashtbl.create 64 and uppers = Hashtbl.create 64 in
+    let lowers = Hashtbl.create (max 8 nl)
+    and uppers = Hashtbl.create (max 8 nl) in
     let add tbl uid a =
       Hashtbl.replace tbl uid
         (a :: (try Hashtbl.find tbl uid with Not_found -> []))
@@ -1591,7 +1730,7 @@ let compact t ~(interface : var list) (s : scheme) : scheme =
       atoms := kept @ List.filter fresh_atom (List.rev !extra)
     end
   done;
-  let mentioned = Hashtbl.create 64 in
+  let mentioned = Hashtbl.create (max 8 nl) in
   List.iter
     (fun a ->
       let mark v = Hashtbl.replace mentioned v.uid () in
@@ -1608,8 +1747,11 @@ let compact t ~(interface : var list) (s : scheme) : scheme =
       (fun v -> Hashtbl.mem iface v.uid || Hashtbl.mem mentioned v.uid)
       s.locals
   in
-  t.s_sv_after <- t.s_sv_after + List.length locals;
-  t.s_se_after <- t.s_se_after + List.length !atoms;
+  if count then begin
+    t.s_sv_after <- t.s_sv_after + List.length locals;
+    t.s_se_after <- t.s_se_after + List.length !atoms
+  end;
+  t.s_compact_s <- t.s_compact_s +. (Unix.gettimeofday () -. c0);
   make_scheme ~locals ~atoms:!atoms
 
 (* Can this scheme's constraints, alone, ever produce a bound violation in

@@ -202,7 +202,19 @@ val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
     [add_leq_*] entry points, so edge/bound dedup and online cycle
     elimination apply exactly as if the constraints had been generated
     serially. Returns the realized renaming ([None] for batch variables
-    the batch did not contain). *)
+    the batch did not contain).
+
+    This is the splice-fast path: because {!export} cuts the variable
+    segment straight out of the source arena, a batch variable's creation
+    id is its index in the segment, and the renaming is a flat array
+    lookup instead of a uid-keyed hash table. Semantics are identical to
+    {!absorb_replay}. *)
+
+val absorb_replay :
+  t -> ?bind:(var -> var option) -> batch -> var -> var option
+(** The pre-splice merge: same contract as {!absorb}, renaming through a
+    uid-keyed hash table. Kept as the independent parity oracle the
+    property tests compare the fast path against. *)
 
 val batch_skippable : bind:(var -> var option) -> batch -> bool
 (** [true] iff absorbing the batch would be a literal no-op: it carries no
@@ -220,7 +232,7 @@ val simplify_scheme : t -> interface:var list -> scheme -> scheme
     (property-tested). Variables carrying masked atoms are kept
     conservatively. *)
 
-val compact : t -> interface:var list -> scheme -> scheme
+val compact : ?count:bool -> t -> interface:var list -> scheme -> scheme
 (** Compact a scheme by exact projection onto its observable variables:
     the [interface] list (qualifier variables reachable from the
     generalized qualified type) plus every free variable. Collapses and
@@ -233,7 +245,10 @@ val compact : t -> interface:var list -> scheme -> scheme
     inconsistent are kept, preserving error reports. Deterministic:
     output order depends only on the input scheme, never on store state.
     Accumulates the [scheme_vars_*]/[scheme_edges_*] counters of
-    {!stats}. *)
+    {!stats} unless [count] is [false] — derived compactions (e.g.
+    re-projecting a multi-member SCC scheme onto one member's interface)
+    pass [~count:false] so the counters keep describing the primary
+    generalizations. *)
 
 val atoms_never_violate :
   Space.t -> locals:var list -> exposed:var list -> atom list -> bool
@@ -280,13 +295,34 @@ type stats = {
   worklist_pops : int;  (** total propagation steps across all solves *)
   solve_s : float;  (** wall seconds inside {!solve}/{!solve_from_scratch} *)
   absorb_s : float;  (** wall seconds inside {!absorb} *)
+  congen_s : float;
+      (** wall seconds generating constraints (body traversal), excluding
+          the nested instantiate time; noted by the client *)
+  generalize_s : float;  (** wall seconds generalizing schemes *)
+  compact_s : float;  (** wall seconds inside {!compact} *)
+  instantiate_s : float;  (** wall seconds inside {!instantiate} *)
+  report_s : float;
+      (** wall seconds measuring/classifying results, excluding the nested
+          solve time; noted by the client *)
   scheme_vars_before : int;
       (** scheme locals entering {!compact}, summed over all compactions *)
   scheme_vars_after : int;  (** scheme locals surviving {!compact} *)
   scheme_edges_before : int;  (** constraint atoms entering {!compact} *)
   scheme_edges_after : int;  (** constraint atoms surviving {!compact} *)
   instantiations_memo_hits : int;
-      (** instantiations served from the per-scope memo table *)
+      (** instantiations served from the per-scope memo table or the
+          flat-signature summary fast path *)
+  memo_candidates : int;
+      (** calls to polymorphic callees that consulted memo eligibility *)
+  memo_reject_nonflat_ret : int;
+      (** candidates rejected because the callee's return type is not flat
+          (using the result emits structural constraints) *)
+  memo_reject_may_violate : int;
+      (** candidates rejected because the scheme's atoms could produce a
+          bound violation on their own ({!atoms_never_violate} said no) *)
+  memo_misses : int;
+      (** eligible candidates whose key was not yet in the session memo
+          (each miss performed a real instantiation) *)
   empty_batches_skipped : int;
       (** worker batches whose absorb was skipped as a no-op *)
   heap_words : int;
@@ -301,12 +337,36 @@ val pp_stats : stats Fmt.t
 val note_memo_hit : t -> unit
 (** count one memoized instantiation (the memo table lives in the client) *)
 
+val note_memo_candidate : t -> unit
+(** count one call that consulted instantiation-memo eligibility *)
+
+val note_memo_reject_nonflat_ret : t -> unit
+(** count one candidate rejected for a non-flat return type *)
+
+val note_memo_reject_may_violate : t -> unit
+(** count one candidate rejected because its scheme atoms may violate *)
+
+val note_memo_miss : t -> unit
+(** count one eligible candidate that still had to instantiate *)
+
 val note_skipped_batch : t -> unit
 (** count one skipped empty batch *)
 
+type phase = Congen | Generalize | Compact | Instantiate | Report
+
+val note_phase : t -> phase -> float -> unit
+(** credit [dt] wall seconds to a phase column. [Compact] and
+    [Instantiate] are credited internally by {!compact}/{!instantiate};
+    the analysis client notes the other phases around its own windows. *)
+
+val phase_seconds : t -> phase -> float
+(** current accumulated seconds of a phase — lets a client time an
+    enclosing window and subtract the nested phases for disjoint columns *)
+
 val merge_aux_stats : t -> stats -> unit
-(** fold the compaction/memo counters of a worker store's stats into this
-    store, so parallel runs report totals; the structural counters (vars,
+(** fold the compaction/memo counters and per-phase times of a worker
+    store's stats into this store, so parallel runs report totals (phase
+    times sum CPU seconds across domains); the structural counters (vars,
     edges, solve times) are not touched — they flow through {!absorb} *)
 
 val pp_scheme : Space.t -> scheme Fmt.t

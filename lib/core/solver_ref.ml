@@ -133,11 +133,20 @@ type stats = {
   worklist_pops : int;
   solve_s : float;
   absorb_s : float;
+  congen_s : float;  (* phase timers: always 0 here; see Solver *)
+  generalize_s : float;
+  compact_s : float;
+  instantiate_s : float;
+  report_s : float;
   scheme_vars_before : int;  (* locals entering [compact], summed *)
   scheme_vars_after : int;
   scheme_edges_before : int;  (* constraint atoms entering [compact], summed *)
   scheme_edges_after : int;
   instantiations_memo_hits : int;
+  memo_candidates : int;  (* memo-rejection breakdown: always 0 here *)
+  memo_reject_nonflat_ret : int;
+  memo_reject_may_violate : int;
+  memo_misses : int;
   empty_batches_skipped : int;
   heap_words : int;
   top_heap_words : int;
@@ -243,11 +252,20 @@ let stats t =
     worklist_pops = t.s_pops;
     solve_s = t.s_solve_s;
     absorb_s = t.s_absorb_s;
+    congen_s = 0.;
+    generalize_s = 0.;
+    compact_s = 0.;
+    instantiate_s = 0.;
+    report_s = 0.;
     scheme_vars_before = t.s_sv_before;
     scheme_vars_after = t.s_sv_after;
     scheme_edges_before = t.s_se_before;
     scheme_edges_after = t.s_se_after;
     instantiations_memo_hits = t.s_memo_hits;
+    memo_candidates = 0;
+    memo_reject_nonflat_ret = 0;
+    memo_reject_may_violate = 0;
+    memo_misses = 0;
     empty_batches_skipped = t.s_skipped_batches;
     heap_words = (Gc.quick_stat ()).Gc.heap_words;
     top_heap_words = (Gc.quick_stat ()).Gc.top_heap_words;
@@ -890,6 +908,10 @@ let absorb t ?bind (b : batch) =
     b.b_atoms;
   t.s_absorb_s <- t.s_absorb_s +. (Unix.gettimeofday () -. t0);
   fun v -> Hashtbl.find_opt map v.uid
+
+(* the reference store has no splice-fast path: both names are the same
+   Hashtbl replay (present so the cores share a signature) *)
+let absorb_replay = absorb
 
 (* A batch whose absorb would be a literal no-op: no atoms to replay and
    every variable already bound to a shared-store variable (so no fresh

@@ -198,6 +198,11 @@ val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
     serially. Returns the realized renaming ([None] for batch variables
     the batch did not contain). *)
 
+val absorb_replay :
+  t -> ?bind:(var -> var option) -> batch -> var -> var option
+(** alias of {!absorb}: the reference store has no splice-fast path, the
+    name exists so both cores satisfy the test suite's common signature *)
+
 val batch_skippable : bind:(var -> var option) -> batch -> bool
 (** [true] iff absorbing the batch would be a literal no-op: it carries no
     atoms and every variable is already resolved by [bind] (so no fresh
@@ -274,6 +279,11 @@ type stats = {
   worklist_pops : int;  (** total propagation steps across all solves *)
   solve_s : float;  (** wall seconds inside {!solve}/{!solve_from_scratch} *)
   absorb_s : float;  (** wall seconds inside {!absorb} *)
+  congen_s : float;  (** phase timers: always 0 in this core; see {!Solver} *)
+  generalize_s : float;
+  compact_s : float;
+  instantiate_s : float;
+  report_s : float;
   scheme_vars_before : int;
       (** scheme locals entering {!compact}, summed over all compactions *)
   scheme_vars_after : int;  (** scheme locals surviving {!compact} *)
@@ -281,6 +291,11 @@ type stats = {
   scheme_edges_after : int;  (** constraint atoms surviving {!compact} *)
   instantiations_memo_hits : int;
       (** instantiations served from the per-scope memo table *)
+  memo_candidates : int;
+      (** memo-rejection breakdown: always 0 in this core; see {!Solver} *)
+  memo_reject_nonflat_ret : int;
+  memo_reject_may_violate : int;
+  memo_misses : int;
   empty_batches_skipped : int;
       (** worker batches whose absorb was skipped as a no-op *)
   heap_words : int;  (** live major-heap words at sampling time *)

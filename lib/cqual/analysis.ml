@@ -218,6 +218,26 @@ type pub = {
   pub_tbl : (string, pentry) Hashtbl.t;
 }
 
+(** May instances of a scheme be shared between call sites of the same
+    callee? Decided once per (scheme, callee), from the shape of the
+    registered interface and the scheme's own atoms — both structural, so
+    serial runs, worker replicas (over mirrored schemes), and cached
+    replays reach the same verdict. *)
+type memo_verdict =
+  | MFlat
+      (** the whole signature is flat (flat return, flat pointed-to
+          contents on every parameter): linking {e any} call against it
+          emits no atoms, and the scheme's atoms can never violate on
+          their own — the registered interface serves every call site
+          with no instantiation at all *)
+  | MSession
+      (** flat return only: one instance may serve all call sites with
+          identical argument shapes and variables within one recording
+          session (the PR 4 memo) *)
+  | MNonflatRet  (** rejected: using the result emits structural atoms *)
+  | MMayViolate
+      (** rejected: a dropped instance copy could drop a bound violation *)
+
 (** Wall-clock phase breakdown of a parallel run (for [--stats]). *)
 type par_stats = {
   ps_jobs : int;
@@ -261,9 +281,9 @@ type env = {
           Valid only within one recording session — every session
           boundary resets it, so a memo hit always names an instance
           whose atoms were captured into the current recording. *)
-  memo_ok : (int * string, bool) Hashtbl.t;
-      (** cached sharing eligibility per (scheme id, callee): flat return
-          type and {!Solver.atoms_never_violate} *)
+  memo_ok : (int * string, memo_verdict) Hashtbl.t;
+      (** cached sharing eligibility per (scheme id, callee); see
+          {!memo_verdict} *)
 }
 
 (** A worker's window onto the shared analysis: the read-only global env
@@ -594,35 +614,56 @@ let fun_occurrence env name : fsig option =
       Some (copy_fsig rn s)
   | None -> None
 
-(* May one instantiation of [sch] be shared between call sites of the same
-   recording session? Requires (a) a flat return type, so using the result
-   emits no structural constraints, and (b) atoms that can never produce a
-   bound violation on their own, so dropping a would-be second copy cannot
-   drop an error. The pessimistically-pinned set is exactly the instance
-   variables a call site flows into: each parameter's pointed-to contents
-   (the [sub r p.contents] in {!call}) and the result. A parameter's own
-   top-level qualifier receives no call-site inflow, so it keeps its
-   scheme-internal bounds — pinning it too would reject every function
-   that increments a pointer parameter. Cached per (scheme, callee). *)
-let memo_eligible env sch (s : fsig) name =
+(* Classify one (scheme, callee) pair for instance sharing; see
+   {!memo_verdict}. Requirements, from weakest to strongest:
+   (a) a flat return type, so using the result emits no structural
+   constraints; (b) atoms that can never produce a bound violation on
+   their own, so dropping a would-be second copy cannot drop an error;
+   (c) flat pointed-to contents on every parameter, so the [sub
+   r p.contents] in {!call} emits nothing for any argument. (a)+(b) give
+   session sharing over identical-argument call sites; (a)+(b)+(c) give
+   MFlat — no call site can ever reach an instance variable, so the
+   registered interface itself serves every occurrence. The
+   pessimistically-pinned set for (b) is exactly the instance variables a
+   call site flows into: each parameter's pointed-to contents and the
+   result (empty under (c)). A parameter's own top-level qualifier
+   receives no call-site inflow, so it keeps its scheme-internal bounds —
+   pinning it too would reject every function that increments a pointer
+   parameter. Cached per (scheme, callee). *)
+let memo_verdict env sch (s : fsig) name =
   let key = (Solver.scheme_id sch, name) in
   match Hashtbl.find_opt env.memo_ok key with
-  | Some b -> b
+  | Some v -> v
   | None ->
-      let inflow =
-        rt_qvars s.fs_ret
-        @ List.concat_map (fun (p : cell) -> rt_qvars p.contents) s.fs_params
+      let v =
+        if not (Shape.flat (Shape.of_rt env.shapes s.fs_ret)) then MNonflatRet
+        else begin
+          let flat_params =
+            List.for_all
+              (fun (p : cell) ->
+                Shape.flat (Shape.of_rt env.shapes p.contents))
+              s.fs_params
+          in
+          let inflow =
+            if flat_params then []
+            else
+              rt_qvars s.fs_ret
+              @ List.concat_map
+                  (fun (p : cell) -> rt_qvars p.contents)
+                  s.fs_params
+          in
+          if
+            Solver.atoms_never_violate
+              (Solver.space env.store)
+              ~locals:(Solver.scheme_locals sch)
+              ~exposed:inflow
+              (Solver.scheme_atoms sch)
+          then if flat_params then MFlat else MSession
+          else MMayViolate
+        end
       in
-      let b =
-        Shape.flat (Shape.of_rt env.shapes s.fs_ret)
-        && Solver.atoms_never_violate
-             (Solver.space env.store)
-             ~locals:(Solver.scheme_locals sch)
-             ~exposed:inflow
-             (Solver.scheme_atoms sch)
-      in
-      Hashtbl.replace env.memo_ok key b;
-      b
+      Hashtbl.replace env.memo_ok key v;
+      v
 
 (* Instantiate a defined function for one CALL occurrence. Two calls of an
    eligible polymorphic callee whose arguments have identical skeletons
@@ -637,28 +678,45 @@ let fun_call_occurrence env name (arg_rts : rt list) : fsig option =
   match fentry_of env name with
   | Some (FMono s) -> Some s
   | Some (FPoly (sch, s)) ->
-      if env.compact && memo_eligible env sch s name then begin
-        let arg_key =
-          List.map
-            (fun r ->
-              ( Shape.id (Shape.of_rt env.shapes r),
-                List.map Solver.var_uid (rt_qvars r) ))
-            arg_rts
-        in
-        let key = (Solver.scheme_id sch, name, arg_key) in
-        match Hashtbl.find_opt env.imemo key with
-        | Some inst ->
-            Solver.note_memo_hit env.store;
-            Some inst
-        | None ->
-            let rn = Solver.instantiate env.store sch in
-            let inst = copy_fsig rn s in
-            Hashtbl.replace env.imemo key inst;
-            Some inst
-      end
-      else
+      let instantiate () =
         let rn = Solver.instantiate env.store sch in
-        Some (copy_fsig rn s)
+        copy_fsig rn s
+      in
+      if env.compact then begin
+        Solver.note_memo_candidate env.store;
+        match memo_verdict env sch s name with
+        | MFlat ->
+            (* no call can reach an instance variable and the scheme's
+               atoms never violate: the registered interface IS the
+               summary, shared across sessions, SCCs, and rounds *)
+            Solver.note_memo_hit env.store;
+            Some s
+        | MSession -> (
+            let arg_key =
+              List.map
+                (fun r ->
+                  ( Shape.id (Shape.of_rt env.shapes r),
+                    List.map Solver.var_uid (rt_qvars r) ))
+                arg_rts
+            in
+            let key = (Solver.scheme_id sch, name, arg_key) in
+            match Hashtbl.find_opt env.imemo key with
+            | Some inst ->
+                Solver.note_memo_hit env.store;
+                Some inst
+            | None ->
+                Solver.note_memo_miss env.store;
+                let inst = instantiate () in
+                Hashtbl.replace env.imemo key inst;
+                Some inst)
+        | MNonflatRet ->
+            Solver.note_memo_reject_nonflat_ret env.store;
+            Some (instantiate ())
+        | MMayViolate ->
+            Solver.note_memo_reject_may_violate env.store;
+            Some (instantiate ())
+      end
+      else Some (instantiate ())
   | None -> None
 
 let rec lvalue env scope (e : Cast.expr) : cell =
@@ -966,6 +1024,25 @@ let make_env ?(rules = const_rules) ?(field_sharing = true) ?(compact = true)
     memo_ok = Hashtbl.create 16;
   }
 
+(* Credit a wall-clock window to one of the per-phase stats columns,
+   minus whatever the solver already credited to the nested phases
+   (instantiate/compact run inside the congen window), so the columns
+   stay disjoint and sum to roughly the analysis wall time. *)
+let timed_phase env ph f =
+  let st = env.store in
+  let i0 = Solver.phase_seconds st Solver.Instantiate
+  and c0 = Solver.phase_seconds st Solver.Compact in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let nested =
+    Solver.phase_seconds st Solver.Instantiate
+    -. i0
+    +. (Solver.phase_seconds st Solver.Compact -. c0)
+  in
+  Solver.note_phase st ph (Float.max 0. (dt -. nested));
+  r
+
 (* Global variables and struct tables are part of the monomorphic
    environment: build them eagerly so scheme generalization can exclude
    their variables by creation time. *)
@@ -999,19 +1076,21 @@ let analyze_global_inits env =
      here — their atoms belong to that SCC's scheme, not the store) *)
   Hashtbl.reset env.imemo;
   let scope = { locals = []; ret = RBase } in
-  List.iter
-    (fun (d : Cast.decl) ->
-      match d.d_init with
-      | Some e -> (
-          match Hashtbl.find_opt env.globals d.d_name with
-          | Some c -> (
-              try init_into env scope c e
-              with Cprog.Frontend_error m ->
-                warn env
-                  (Printf.sprintf "initializer of %s: %s; ignored" d.d_name m))
+  timed_phase env Solver.Congen (fun () ->
+      List.iter
+        (fun (d : Cast.decl) ->
+          match d.d_init with
+          | Some e -> (
+              match Hashtbl.find_opt env.globals d.d_name with
+              | Some c -> (
+                  try init_into env scope c e
+                  with Cprog.Frontend_error m ->
+                    warn env
+                      (Printf.sprintf "initializer of %s: %s; ignored"
+                         d.d_name m))
+              | None -> ())
           | None -> ())
-      | None -> ())
-    (Cprog.global_vars env.prog)
+        (Cprog.global_vars env.prog))
 
 (** Monomorphic const inference (the "Mono" column of Table 2). *)
 let run_mono ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
@@ -1023,23 +1102,25 @@ let run_mono ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
      whose interface cannot be built is degraded and left out of env.funs,
      so its callers fall back to the conservative library treatment *)
   let ifaces =
-    List.filter_map
-      (fun (f : Cast.fundef) ->
-        match guarded env f.f_name (fun () -> iface_of_fundef env f) with
-        | Some s ->
-            Hashtbl.replace env.funs f.f_name (FMono s);
-            Some (f.f_name, s)
-        | None -> None)
-      funs
+    timed_phase env Solver.Congen (fun () ->
+        List.filter_map
+          (fun (f : Cast.fundef) ->
+            match guarded env f.f_name (fun () -> iface_of_fundef env f) with
+            | Some s ->
+                Hashtbl.replace env.funs f.f_name (FMono s);
+                Some (f.f_name, s)
+            | None -> None)
+          funs)
   in
   (* pass 2: bodies *)
-  List.iter
-    (fun (f : Cast.fundef) ->
-      match Hashtbl.find_opt env.funs f.f_name with
-      | Some (FMono s) ->
-          ignore (guarded env f.f_name (fun () -> analyze_body env f s))
-      | _ -> ())
-    funs;
+  timed_phase env Solver.Congen (fun () ->
+      List.iter
+        (fun (f : Cast.fundef) ->
+          match Hashtbl.find_opt env.funs f.f_name with
+          | Some (FMono s) ->
+              ignore (guarded env f.f_name (fun () -> analyze_body env f s))
+          | _ -> ())
+        funs);
   analyze_global_inits env;
   (env, ifaces)
 
@@ -1100,6 +1181,34 @@ let serial_is_global env ~global_watermark v =
   Solver.var_id v < global_watermark
   || Hashtbl.mem env.late_mono (Solver.var_id v)
 
+(* A multi-member SCC generalizes into one scheme carrying every
+   member's constraints and every member's interface — but a call to
+   one member must not pay for the whole component. The scale corpora's
+   cross-file recursion rings tie SCC size to project size, so
+   instantiating the shared scheme at each ring call site made total
+   instantiation cost quadratic in project size (measured: ~20k ring
+   calls x ~120 locals each = 80% of all variables created on the
+   megacorpus). At registration, re-compact the shared scheme down to
+   the member's own interface-reachable core: exact by compaction's
+   contract (identical interface solutions and bound violations),
+   deterministic (compaction never iterates a hash table, so serial,
+   worker and replay derivations agree structurally), and excluded from
+   the scheme-size counters ([~count:false]) so those keep describing
+   the primary generalizations. Singleton SCCs keep their scheme as is:
+   it was already compacted against exactly this interface. *)
+let member_scheme env sch (s : fsig) : Solver.scheme =
+  if env.compact then
+    Solver.compact ~count:false env.store ~interface:(rt_qvars (RFun s)) sch
+  else sch
+
+let register_member_schemes env sch (scc_ifaces : (Cast.fundef * fsig) list) =
+  let multi = match scc_ifaces with _ :: _ :: _ -> true | _ -> false in
+  List.iter
+    (fun ((f : Cast.fundef), s) ->
+      let sch_m = if multi then member_scheme env sch s else sch in
+      Hashtbl.replace env.funs f.f_name (FPoly (sch_m, s)))
+    scc_ifaces
+
 (* Process one SCC (Poly): interfaces first so mutual recursion links
    directly, then bodies; capture the atoms, generalize, optionally
    simplify, and register the scheme for the members. Raises on analysis
@@ -1110,19 +1219,23 @@ let poly_scc env ~is_global ~simplify members :
      into THIS scheme *)
   Hashtbl.reset env.imemo;
   let scc_ifaces, atoms =
-    Solver.recording env.store (fun () ->
-        let is =
-          List.map
-            (fun (f : Cast.fundef) ->
-              let s = iface_of_fundef env f in
-              Hashtbl.replace env.funs f.f_name (FMono s);
-              (f, s))
-            members
-        in
-        List.iter (fun (f, s) -> analyze_body env f s) is;
-        is)
+    timed_phase env Solver.Congen (fun () ->
+        Solver.recording env.store (fun () ->
+            let is =
+              List.map
+                (fun (f : Cast.fundef) ->
+                  let s = iface_of_fundef env f in
+                  Hashtbl.replace env.funs f.f_name (FMono s);
+                  (f, s))
+                members
+            in
+            List.iter (fun (f, s) -> analyze_body env f s) is;
+            is))
   in
-  let sch = generalize_scc ~is_global atoms scc_ifaces in
+  let sch =
+    timed_phase env Solver.Generalize (fun () ->
+        generalize_scc ~is_global atoms scc_ifaces)
+  in
   let interface =
     List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces
   in
@@ -1132,10 +1245,7 @@ let poly_scc env ~is_global ~simplify members :
   let sch =
     if env.compact then Solver.compact env.store ~interface sch else sch
   in
-  List.iter
-    (fun ((f : Cast.fundef), s) ->
-      Hashtbl.replace env.funs f.f_name (FPoly (sch, s)))
-    scc_ifaces;
+  register_member_schemes env sch scc_ifaces;
   (scc_ifaces, sch)
 
 (** Polymorphic const inference (Section 4.3, the "Poly" column): SCCs of
@@ -1208,17 +1318,21 @@ let polyrec_scc env ~is_global prog scc members :
     (* memo sessions never span rounds: a later round's scheme must
        capture its own copies of every instance *)
     Hashtbl.reset env.imemo;
-    Solver.recording env.store (fun () ->
-        let is =
-          List.map
-            (fun (f : Cast.fundef) -> (f, iface_of_fundef env f))
-            members
-        in
-        List.iter (fun (f, s) -> analyze_body env f s) is;
-        is)
+    timed_phase env Solver.Congen (fun () ->
+        Solver.recording env.store (fun () ->
+            let is =
+              List.map
+                (fun (f : Cast.fundef) -> (f, iface_of_fundef env f))
+                members
+            in
+            List.iter (fun (f, s) -> analyze_body env f s) is;
+            is))
   in
   let finish scc_ifaces atoms =
-    let sch = generalize_scc ~is_global atoms scc_ifaces in
+    let sch =
+      timed_phase env Solver.Generalize (fun () ->
+          generalize_scc ~is_global atoms scc_ifaces)
+    in
     let interface =
       List.concat_map (fun (_, s) -> rt_qvars (RFun s)) scc_ifaces
     in
@@ -1230,10 +1344,7 @@ let polyrec_scc env ~is_global prog scc members :
       if env.compact then Solver.compact env.store ~interface sch
       else Solver.simplify_scheme env.store ~interface sch
     in
-    List.iter
-      (fun ((f : Cast.fundef), s) ->
-        Hashtbl.replace env.funs f.f_name (FPoly (sch, s)))
-      scc_ifaces;
+    register_member_schemes env sch scc_ifaces;
     sch
   in
   if not is_recursive then begin
@@ -1242,17 +1353,18 @@ let polyrec_scc env ~is_global prog scc members :
        analyzed *)
     Hashtbl.reset env.imemo;
     let scc_ifaces, atoms =
-      Solver.recording env.store (fun () ->
-          let is =
-            List.map
-              (fun (f : Cast.fundef) ->
-                let s = iface_of_fundef env f in
-                Hashtbl.replace env.funs f.f_name (FMono s);
-                (f, s))
-              members
-          in
-          List.iter (fun (f, s) -> analyze_body env f s) is;
-          is)
+      timed_phase env Solver.Congen (fun () ->
+          Solver.recording env.store (fun () ->
+              let is =
+                List.map
+                  (fun (f : Cast.fundef) ->
+                    let s = iface_of_fundef env f in
+                    Hashtbl.replace env.funs f.f_name (FMono s);
+                    (f, s))
+                  members
+              in
+              List.iter (fun (f, s) -> analyze_body env f s) is;
+              is))
     in
     let sch = finish scc_ifaces atoms in
     (scc_ifaces, sch)
@@ -1446,10 +1558,14 @@ let merge_result genv (r : task_result) : (string * fsig) list =
           ~locals:(List.map rnv (Solver.scheme_locals sch))
           ~atoms:(List.map rn_atom (Solver.scheme_atoms sch))
       in
+      let multi = match r.tr_ifaces with _ :: _ :: _ -> true | _ -> false in
       List.map
         (fun ((f : Cast.fundef), s) ->
           let s_g = copy_fsig rnv s in
-          Hashtbl.replace genv.funs f.f_name (FPoly (sch_g, s_g));
+          (* same member projection the worker registered locally, over
+             the shared-store translation of the scheme *)
+          let sch_f = if multi then member_scheme genv sch_g s_g else sch_g in
+          Hashtbl.replace genv.funs f.f_name (FPoly (sch_f, s_g));
           (f.f_name, s_g))
         r.tr_ifaces
   end
@@ -1576,6 +1692,11 @@ let sanitize_stats (s : Solver.stats) : Solver.stats =
     s with
     Solver.solve_s = 0.;
     absorb_s = 0.;
+    congen_s = 0.;
+    generalize_s = 0.;
+    compact_s = 0.;
+    instantiate_s = 0.;
+    report_s = 0.;
     heap_words = 0;
     top_heap_words = 0;
     cores_available = 0;
@@ -2028,15 +2149,27 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
                         sccs.(i);
                       Digest.string (Buffer.contents b)))
         | _ -> ());
-        (* publish before releasing dependents: they instantiate us *)
+        (* publish before releasing dependents: they instantiate us.
+           Member projection happens outside the lock — consumers only
+           ever see the per-member scheme, matching what the serial run
+           registers. *)
         (match r.tr_scheme with
         | Some sch ->
+            let multi =
+              match r.tr_ifaces with _ :: _ :: _ -> true | _ -> false
+            in
+            let entries =
+              List.map
+                (fun ((f : Cast.fundef), s) ->
+                  let sch_m = if multi then member_scheme genv sch s else sch in
+                  ( f.f_name,
+                    { p_scheme = sch_m; p_fsig = s; p_bind = r.tr_bind } ))
+                r.tr_ifaces
+            in
             Mutex.lock pub.pub_m;
             List.iter
-              (fun ((f : Cast.fundef), s) ->
-                Hashtbl.replace pub.pub_tbl f.f_name
-                  { p_scheme = sch; p_fsig = s; p_bind = r.tr_bind })
-              r.tr_ifaces;
+              (fun (n, e) -> Hashtbl.replace pub.pub_tbl n e)
+              entries;
             Mutex.unlock pub.pub_m
         | None -> ());
         let ready = ref [] in
@@ -2060,10 +2193,14 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
      shared budget; don't charge them twice *)
   Solver.set_budget genv.store None;
   let ifaces = ref [] in
-  Array.iter
-    (function
+  (* drop each batch as soon as it is merged: a retained batch pins the
+     whole worker arena (its variables point back at their store's
+     columns), which is where the multi-gigaword jobs>1 heap came from *)
+  Array.iteri
+    (fun i -> function
       | Some r ->
-          List.iter (fun e -> ifaces := e :: !ifaces) (merge_result genv r)
+          List.iter (fun e -> ifaces := e :: !ifaces) (merge_result genv r);
+          results.(i) <- None
       | None -> ())
     results;
   Solver.set_budget genv.store genv.budget;
@@ -2088,14 +2225,15 @@ let run_mono_par ~jobs ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
   build_global_env genv;
   let funs = Cprog.functions prog in
   let ifaces =
-    List.filter_map
-      (fun (f : Cast.fundef) ->
-        match guarded genv f.f_name (fun () -> iface_of_fundef genv f) with
-        | Some s ->
-            Hashtbl.replace genv.funs f.f_name (FMono s);
-            Some (f.f_name, s)
-        | None -> None)
-      funs
+    timed_phase genv Solver.Congen (fun () ->
+        List.filter_map
+          (fun (f : Cast.fundef) ->
+            match guarded genv f.f_name (fun () -> iface_of_fundef genv f) with
+            | Some s ->
+                Hashtbl.replace genv.funs f.f_name (FMono s);
+                Some (f.f_name, s)
+            | None -> None)
+          funs)
   in
   let t0 = Unix.gettimeofday () in
   let pub = { pub_m = Mutex.create (); pub_tbl = Hashtbl.create 1 } in
@@ -2115,10 +2253,11 @@ let run_mono_par ~jobs ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
               let wenv = worker_env genv pub in
               (match Hashtbl.find_opt genv.funs f.f_name with
               | Some (FMono s) ->
-                  ignore
-                    (guarded wenv f.f_name (fun () ->
-                         analyze_body wenv f
-                           (mirror_fsig wenv (worker_pc wenv) s)))
+                  timed_phase wenv Solver.Congen (fun () ->
+                      ignore
+                        (guarded wenv f.f_name (fun () ->
+                             analyze_body wenv f
+                               (mirror_fsig wenv (worker_pc wenv) s))))
               | _ -> ());
               (* distinct indices: no write race, and Pool.wait's queue
                  mutex orders these writes before the main-domain reads *)
@@ -2128,9 +2267,12 @@ let run_mono_par ~jobs ?rules ?field_sharing ?compact ?budget (prog : Cprog.t) :
   let t_gen = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
   Solver.set_budget genv.store None;
-  Array.iter
-    (function
-      | Some r -> ignore (merge_result genv r : (string * fsig) list)
+  (* free each worker batch right after its merge (see run_sccs_par) *)
+  Array.iteri
+    (fun i -> function
+      | Some r ->
+          ignore (merge_result genv r : (string * fsig) list);
+          results.(i) <- None
       | None -> ())
     results;
   Solver.set_budget genv.store genv.budget;

@@ -159,7 +159,14 @@ let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
         Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?cache
           ?jobs mode prog)
   in
+  let st = env.Analysis.store in
+  let solve0 = (Typequal.Solver.stats st).solve_s in
   let results, t2 = time (fun () -> Report.measure env ifaces) in
+  (* the report's own cost, minus the final solve it triggers (that time
+     is already accounted to solve_s) *)
+  let solve_d = (Typequal.Solver.stats st).solve_s -. solve0 in
+  Typequal.Solver.note_phase st Typequal.Solver.Report
+    (Float.max 0. (t2 -. solve_d));
   (env, results, t +. t2)
 
 (* One mode over an already-concatenated program [src] whose units are

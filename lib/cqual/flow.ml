@@ -69,7 +69,16 @@ let fresh ctx name = Solver.fresh ~name:("flow_" ^ name) ctx.store
 
 let lookup st x = List.assoc_opt x st
 
-let update st x v = (x, v) :: List.remove_assoc x st
+(* same binding discipline as [(x, v) :: List.remove_assoc x st] (new
+   binding at the head, first old occurrence dropped) in one traversal
+   without the intermediate list *)
+let update st x v =
+  let rec drop = function
+    | [] -> []
+    | (y, _) :: tl when String.equal y x -> tl
+    | b :: tl -> b :: drop tl
+  in
+  (x, v) :: drop st
 
 (* join two states: fresh variable per local, both branches flow in *)
 let join_states ctx (a : state) (b : state) : state =
@@ -405,7 +414,8 @@ let addr_taken_locals (f : Cast.fundef) : (string, unit) Hashtbl.t =
     f.f_body;
   tbl
 
-let analyze_function store prog mode (f : Cast.fundef) : func_result =
+let analyze_function ~tainted_elt ~not_tainted store prog mode
+    (f : Cast.fundef) : func_result =
   let uses_goto = List.exists stmt_uses_goto f.f_body in
   let flow = mode = Sensitive && not uses_goto in
   let ctx =
@@ -414,8 +424,8 @@ let analyze_function store prog mode (f : Cast.fundef) : func_result =
       prog;
       addr_taken = addr_taken_locals f;
       flow;
-      tainted_elt = Elt.of_names_up space [ "tainted" ];
-      not_tainted = Elt.not_name space "tainted";
+      tainted_elt;
+      not_tainted;
       breaks = [];
       continues = [];
     }
@@ -444,8 +454,14 @@ let analyze_function store prog mode (f : Cast.fundef) : func_result =
 (** Analyze a whole program's defined functions. *)
 let analyze ?(mode = Sensitive) (prog : Cprog.t) : result =
   let store = Solver.create space in
+  (* the source/sink lattice elements are program-invariant: build them
+     once, not per function *)
+  let tainted_elt = Elt.of_names_up space [ "tainted" ]
+  and not_tainted = Elt.not_name space "tainted" in
   let functions =
-    List.map (analyze_function store prog mode) (Cprog.functions prog)
+    List.map
+      (analyze_function ~tainted_elt ~not_tainted store prog mode)
+      (Cprog.functions prog)
   in
   let errors =
     match Solver.solve store with

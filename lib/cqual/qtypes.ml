@@ -194,23 +194,26 @@ let copy_fsig rn (f : fsig) : fsig =
 (** All qualifier variables reachable from an r-type (for generalization
     bookkeeping). *)
 let rt_qvars (r : rt) : Solver.var list =
-  let seen = Hashtbl.create 16 in
-  let acc = ref [] in
-  let rec go_rt = function
-    | RBase | RVoid | RStruct _ -> ()
-    | RPtr c -> go_cell c
-    | RFun f ->
-        List.iter go_cell f.fs_params;
-        go_rt f.fs_ret
-  and go_cell c =
-    if not (Hashtbl.mem seen (Solver.var_id c.q)) then begin
-      Hashtbl.add seen (Solver.var_id c.q) ();
-      acc := c.q :: !acc;
-      go_rt c.contents
-    end
-  in
-  go_rt r;
-  !acc
+  match r with
+  | RBase | RVoid | RStruct _ -> [] (* no cells: skip the visited table *)
+  | RPtr _ | RFun _ ->
+      let seen = Hashtbl.create 16 in
+      let acc = ref [] in
+      let rec go_rt = function
+        | RBase | RVoid | RStruct _ -> ()
+        | RPtr c -> go_cell c
+        | RFun f ->
+            List.iter go_cell f.fs_params;
+            go_rt f.fs_ret
+      and go_cell c =
+        if not (Hashtbl.mem seen (Solver.var_id c.q)) then begin
+          Hashtbl.add seen (Solver.var_id c.q) ();
+          acc := c.q :: !acc;
+          go_rt c.contents
+        end
+      in
+      go_rt r;
+      !acc
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
@@ -248,16 +251,37 @@ module Shape = struct
            r-type emits no constraints at all *)
   }
 
-  type table = { tbl : (string, t) Hashtbl.t; mutable next : int }
+  type table = {
+    tbl : (string, t) Hashtbl.t;
+    mutable next : int;
+    by_cell : (int, t) Hashtbl.t;
+        (* root-cell intern: uid of an [RPtr] root's qualifier → shape.
+           Sound because a cell's reachable structure is fixed once its
+           builder returns ([copy_rt]/[mirror]/decode tie the knot before
+           exposing the cell), and a qualifier variable shared between two
+           cells only arises through structure-preserving copies — the
+           cells are isomorphic, so their shapes coincide. *)
+  }
 
-  let create_table () = { tbl = Hashtbl.create 64; next = 0 }
+  let create_table () =
+    { tbl = Hashtbl.create 64; next = 0; by_cell = Hashtbl.create 256 }
+
   let id s = s.sh_id
   let flat s = s.sh_flat
+
+  let intern table key ~flat =
+    match Hashtbl.find_opt table.tbl key with
+    | Some s -> s
+    | None ->
+        let s = { sh_id = table.next; sh_flat = flat } in
+        table.next <- table.next + 1;
+        Hashtbl.add table.tbl key s;
+        s
 
   (* canonical structural key: cells are numbered by first visit and
      back-references rendered as [@k], so aliasing patterns distinguish
      shapes while the variables themselves do not *)
-  let of_rt table (r : rt) : t =
+  let of_rt_uncached table (r : rt) : t =
     let buf = Buffer.create 32 in
     let seen = Hashtbl.create 8 in
     let count = ref 0 in
@@ -292,12 +316,25 @@ module Shape = struct
           go_rt c.contents
     in
     go_rt r;
-    let key = Buffer.contents buf in
-    match Hashtbl.find_opt table.tbl key with
-    | Some s -> s
-    | None ->
-        let s = { sh_id = table.next; sh_flat = !flat } in
-        table.next <- table.next + 1;
-        Hashtbl.add table.tbl key s;
-        s
+    intern table (Buffer.contents buf) ~flat:!flat
+
+  (* fast paths over the canonical-key walk: cell-free skeletons intern
+     against constant keys (no buffer, no visited table), and pointer
+     roots are remembered per root cell — repeated shape queries against
+     the same argument type (every call site of a session-memo candidate
+     makes one per argument) become a single table hit *)
+  let of_rt table (r : rt) : t =
+    match r with
+    | RBase -> intern table "b" ~flat:true
+    | RVoid -> intern table "v" ~flat:true
+    | RStruct tag -> intern table ("s" ^ tag ^ ";") ~flat:true
+    | RPtr c -> (
+        let uid = Solver.var_uid c.q in
+        match Hashtbl.find_opt table.by_cell uid with
+        | Some s -> s
+        | None ->
+            let s = of_rt_uncached table r in
+            Hashtbl.add table.by_cell uid s;
+            s)
+    | RFun _ -> of_rt_uncached table r
 end

@@ -31,11 +31,20 @@ module type CORE = sig
     worklist_pops : int;
     solve_s : float;
     absorb_s : float;
+    congen_s : float;
+    generalize_s : float;
+    compact_s : float;
+    instantiate_s : float;
+    report_s : float;
     scheme_vars_before : int;
     scheme_vars_after : int;
     scheme_edges_before : int;
     scheme_edges_after : int;
     instantiations_memo_hits : int;
+    memo_candidates : int;
+    memo_reject_nonflat_ret : int;
+    memo_reject_may_violate : int;
+    memo_misses : int;
     empty_batches_skipped : int;
     heap_words : int;
     top_heap_words : int;
@@ -59,6 +68,9 @@ module type CORE = sig
   val stats : t -> stats
   val export : t -> batch
   val absorb : t -> ?bind:(var -> var option) -> batch -> var -> var option
+
+  val absorb_replay :
+    t -> ?bind:(var -> var option) -> batch -> var -> var option
 end
 
 module Arena : CORE = Typequal.Solver
@@ -200,6 +212,30 @@ module Drive (C : CORE) = struct
     ignore (C.solve main);
     let v' = Array.map (fun x -> Option.get (look x)) v in
     observe sp main v'
+
+  (* splice-fast absorb vs the Hashtbl-replay oracle, including bound
+     (mirror) variables: the first [n/3] batch variables resolve to
+     pre-existing variables of the main store, exactly as worker mirrors
+     of shared globals do in the parallel engine *)
+  let run_merge ~replay ?(observe = digest) sp n ops =
+    let w = C.create sp in
+    let v = Array.init n (fun _ -> C.fresh w) in
+    List.iter (apply w v) ops;
+    let batch = C.export w in
+    let main = C.create sp in
+    let k = n / 3 in
+    let pre = Array.init k (fun _ -> C.fresh main) in
+    let bind x =
+      let r = ref None in
+      Array.iteri (fun i y -> if i < k && x == y then r := Some pre.(i)) v;
+      !r
+    in
+    let look =
+      (if replay then C.absorb_replay else C.absorb) main ~bind batch
+    in
+    ignore (C.solve main);
+    let v' = Array.map (fun x -> Option.get (look x)) v in
+    observe sp main v'
 end
 
 module DA = Drive (Arena)
@@ -216,6 +252,17 @@ let prop_batch_parity =
     ~name:"arena = pre-arena store through export/absorb (batch splice)"
     scenario_gen
     (fun (sp, n, ops) -> DA.run_batched sp n ops = DR.run_batched sp n ops)
+
+let prop_absorb_fast_eq_replay =
+  (* the PR 8 splice-fast absorb must be observationally identical to the
+     retained Hashtbl-replay path: counters, solutions and errors, with
+     mirror bindings in play *)
+  QCheck2.Test.make ~count:200
+    ~name:"arena: splice-fast absorb = replay absorb (counters, bindings)"
+    scenario_gen
+    (fun (sp, n, ops) ->
+      DA.run_merge ~replay:false sp n ops
+      = DA.run_merge ~replay:true sp n ops)
 
 let prop_serial_eq_batch =
   (* absorbing a whole store into an empty one renames but must not
@@ -284,6 +331,7 @@ let tests =
   [
     QCheck_alcotest.to_alcotest prop_serial_parity;
     QCheck_alcotest.to_alcotest prop_batch_parity;
+    QCheck_alcotest.to_alcotest prop_absorb_fast_eq_replay;
     QCheck_alcotest.to_alcotest prop_serial_eq_batch;
     Alcotest.test_case "multi-file project generation deterministic" `Quick
       test_project_deterministic;

@@ -408,10 +408,137 @@ let prop_end_to_end_chains =
           else true)
         [ 1; 4 ])
 
+(* ------------------------------------------------------------------ *)
+(* The instantiation memo: it must actually fire, and every rejected    *)
+(* candidate must land in exactly one named rejection counter.          *)
+(* ------------------------------------------------------------------ *)
+
+let memo_stats src =
+  let open Cqual in
+  let prog = Driver.compile src in
+  let env, ifaces = Analysis.run ~compact:true Analysis.Poly prog in
+  ignore (Report.measure env ifaces);
+  Analysis.stats env
+
+(* the poly_chains workload is the memo's reason to exist: deep helper
+   chains re-called with identical arguments. A zero here is the PR 8
+   regression this test pins down. *)
+let test_memo_fires_on_chains () =
+  let src = Cbench.Gen.generate_chains ~depth:8 ~seed:7 ~target_lines:400 () in
+  let st = memo_stats src in
+  Alcotest.(check bool) "memo hits > 0" true (st.S.instantiations_memo_hits > 0);
+  Alcotest.(check int) "every candidate is accounted for"
+    st.S.memo_candidates
+    (st.S.instantiations_memo_hits + st.S.memo_misses
+   + st.S.memo_reject_nonflat_ret + st.S.memo_reject_may_violate)
+
+(* a flat-signature callee (base-typed params and result, no violating
+   atoms) is the cross-session tier: every occurrence after the first is
+   a hit with no instantiation at all *)
+let test_memo_flat_tier () =
+  let st =
+    memo_stats
+      "int id(int x) { return x; }\n\
+       int use(void) { return id(1) + id(2) + id(3); }\n"
+  in
+  Alcotest.(check bool) "flat-signature calls hit"
+    true
+    (st.S.instantiations_memo_hits >= 2);
+  Alcotest.(check int) "no rejections" 0
+    (st.S.memo_reject_nonflat_ret + st.S.memo_reject_may_violate)
+
+(* a pointer result makes the consumer emit structural constraints
+   against the instance: rejected, and counted as nonflat-ret *)
+let test_memo_reject_nonflat_ret () =
+  let st =
+    memo_stats
+      "int g;\n\
+       int *addr(void) { return &g; }\n\
+       int use(void) { return *addr() + *addr(); }\n"
+  in
+  Alcotest.(check bool) "nonflat-ret counted" true
+    (st.S.memo_reject_nonflat_ret >= 2);
+  Alcotest.(check int) "and not misclassified as may-violate" 0
+    st.S.memo_reject_may_violate
+
+(* writing through a parameter pointer puts an upper bound on call-site
+   inflow: the scheme's atoms can violate on their own, so sharing an
+   instance could drop errors — rejected, counted as may-violate *)
+let test_memo_reject_may_violate () =
+  let st =
+    memo_stats
+      "void set(int *p) { *p = 1; }\n\
+       int use(int a) { set(&a); set(&a); return a; }\n"
+  in
+  Alcotest.(check bool) "may-violate counted" true
+    (st.S.memo_reject_may_violate >= 2);
+  Alcotest.(check int) "and not misclassified as nonflat-ret" 0
+    st.S.memo_reject_nonflat_ret
+
+(* a read-only pointer consumer is session-tier: flat result, never
+   violating, keyed by argument shape — the second identical call hits,
+   the first is a counted miss *)
+let test_memo_session_tier () =
+  let st =
+    memo_stats
+      "int deref(int *p) { return *p; }\n\
+       int use(int *q) { return deref(q) + deref(q); }\n"
+  in
+  Alcotest.(check bool) "first occurrence misses" true (st.S.memo_misses >= 1);
+  Alcotest.(check bool) "second occurrence hits" true
+    (st.S.instantiations_memo_hits >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Phase timers: disjoint accounting must not exceed the wall clock     *)
+(* ------------------------------------------------------------------ *)
+
+let test_phase_timers_sane () =
+  let open Cqual in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Driver.run_sources ~mode:Analysis.Poly ~jobs:1 Cbench.Programs.miniproject
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let st = r.Driver.solver_stats in
+  let phases =
+    [
+      ("congen", st.S.congen_s);
+      ("generalize", st.S.generalize_s);
+      ("compact", st.S.compact_s);
+      ("instantiate", st.S.instantiate_s);
+      ("report", st.S.report_s);
+      ("solve", st.S.solve_s);
+      ("absorb", st.S.absorb_s);
+    ]
+  in
+  List.iter
+    (fun (n, v) ->
+      Alcotest.(check bool) (n ^ " non-negative") true (v >= 0.))
+    phases;
+  let sum = List.fold_left (fun a (_, v) -> a +. v) 0. phases in
+  (* serial phases are disjoint windows inside the run: their sum cannot
+     exceed the enclosing wall time (slack for timer granularity) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "phase sum %.3fs within wall %.3fs" sum wall)
+    true
+    (sum <= wall +. 0.05)
+
 let tests =
   [
     Alcotest.test_case "chain internal eliminated" `Quick
       test_chain_elimination;
+    Alcotest.test_case "memo fires on poly chains" `Quick
+      test_memo_fires_on_chains;
+    Alcotest.test_case "memo: flat-signature tier hits" `Quick
+      test_memo_flat_tier;
+    Alcotest.test_case "memo: nonflat-ret rejection counted" `Quick
+      test_memo_reject_nonflat_ret;
+    Alcotest.test_case "memo: may-violate rejection counted" `Quick
+      test_memo_reject_may_violate;
+    Alcotest.test_case "memo: session tier miss-then-hit" `Quick
+      test_memo_session_tier;
+    Alcotest.test_case "phase timers disjoint and sane" `Quick
+      test_phase_timers_sane;
     Alcotest.test_case "inconsistent internal kept" `Quick
       test_inconsistent_internal_kept;
     Alcotest.test_case "unconstrained interface kept" `Quick
