@@ -45,6 +45,14 @@
                workloads; writes BENCH_scale.json. Only runs when named
                explicitly (or under "all") — the corpus is large.
                TYPEQUAL_SCALE_LINES overrides the line target.
+     frontend— per-unit parse+link vs the megastring concat oracle on the
+               million-line corpus: compile wall time (>= 1.3x serial),
+               compile-phase peak heap (strictly below concat's),
+               byte-identical reports at jobs 1/4 under both frontends,
+               and the per-unit AST cache re-parsing exactly the dirty
+               unit; writes BENCH_frontend.json. Only runs when named
+               explicitly (or under "all").
+               TYPEQUAL_FRONTEND_LINES overrides the line target.
 
    Every section that runs records wall times, sizes and solver stats
    into BENCH_solver.json (machine-readable, tracked across PRs). *)
@@ -741,7 +749,9 @@ let parallel () =
      else "");
   let lines = 32000 in
   let src = Cbench.Gen.generate ~seed:(1000 + lines) ~target_lines:lines () in
+  let t0 = Unix.gettimeofday () in
   let prog = Driver.compile src in
+  let t_compile_s = Unix.gettimeofday () -. t0 in
   let fdg = Fdg.build prog in
   Fmt.pr
     "workload: %d lines, %d functions, %d sccs (largest %d), wavefront \
@@ -798,6 +808,7 @@ let parallel () =
          ("cores_available", ji cores);
          ("timing", Jstr "best_of_3");
          ("workload_lines", ji lines);
+         ("t_compile_s", jf t_compile_s);
          ("runs", Jlist (List.rev !jrows));
        ]);
   let oc = open_out "BENCH_parallel.json" in
@@ -836,7 +847,9 @@ let compaction () =
   let jworkloads =
     List.map
       (fun (wname, src) ->
+        let t0 = Unix.gettimeofday () in
         let prog = Driver.compile src in
+        let t_compile_s = Unix.gettimeofday () -. t0 in
         Fmt.pr "@.workload %s: %d lines, %d functions@." wname
           (Cfront.Cprog.count_lines src)
           (List.length (Cfront.Cprog.functions prog));
@@ -937,6 +950,7 @@ let compaction () =
           [
             ("name", Jstr wname);
             ("lines", ji lines);
+            ("t_compile_s", jf t_compile_s);
             ("poly_vars_reduction", jf ratio);
             ("mono_on_s", jf mono_on);
             ("mono_off_s", jf mono_off);
@@ -974,7 +988,9 @@ let lattice () =
     "@.=== User-defined lattices: two-point vs three-level space ===@.";
   let lines = 32000 in
   let src = Cbench.Gen.generate ~seed:(1000 + lines) ~target_lines:lines () in
+  let t0 = Unix.gettimeofday () in
   let prog = Driver.compile src in
+  let t_compile_s = Unix.gettimeofday () -. t0 in
   let module Q = Typequal.Qualifier in
   let wide_rules =
     Analysis.const_rules_in
@@ -1044,6 +1060,7 @@ let lattice () =
          ("env", jenv ());
          ("timing", Jstr "best_of_3");
          ("workload_lines", ji lines);
+         ("t_compile_s", jf t_compile_s);
          ("counts_identical", jb !ok);
          ("runs", Jlist (List.rev !jrows));
        ]);
@@ -1342,6 +1359,7 @@ let scale () =
          ("functions", ji nfun);
          ("generate_s", jf gen_s);
          ("compile_s", jf compile_s);
+         ("t_compile_s", jf compile_s);
          ("mode", Jstr "poly");
          ("runs", Jlist (List.rev !jrows));
          ("reports_identical_across_jobs", jb (List.for_all (fun (_, d) -> d = d1) !digests));
@@ -1392,7 +1410,9 @@ let hotpath () =
       ~target_lines:target ()
   in
   let lines = Cbench.Gen.project_lines files in
+  let t0 = Unix.gettimeofday () in
   let prog = Driver.compile (Driver.concat_sources files) in
+  let t_compile_s = Unix.gettimeofday () -. t0 in
   let nfun = List.length (Cfront.Cprog.functions prog) in
   Fmt.pr "corpus %s: %d lines, %d functions@.@." b.Cbench.Suite.b_name lines
     nfun;
@@ -1492,6 +1512,7 @@ let hotpath () =
          ("lines", ji lines);
          ("functions", ji nfun);
          ("mode", Jstr "poly");
+         ("t_compile_s", jf t_compile_s);
          ("serial_us_per_line", jf serial_upl);
          ("runs", Jlist (List.rev !rows));
          ("all_checks_passed", jb !ok);
@@ -1544,10 +1565,12 @@ let cache_bench () =
   let digest (r : Driver.run) =
     scale_digest r.Driver.results r.Driver.solver_stats
   in
+  let compile_s = ref 0. in
   let timed_run files =
     let cs = open_cache () in
     let t0 = Unix.gettimeofday () in
     let r = Driver.run_sources ~mode:Analysis.Poly ~cache:cs files in
+    compile_s := r.Driver.timing.Driver.t_compile;
     (Unix.gettimeofday () -. t0, digest r, Cache.stats cs.Driver.cs_cache)
   in
   let ok = ref true in
@@ -1559,6 +1582,7 @@ let cache_bench () =
 
   (* ---- cold populate, warm no-op ---- *)
   let t_cold, d_cold, st_cold = timed_run files in
+  let t_compile_cold = !compile_s in
   Fmt.pr "cold  %.3fs (%d entries written)@." t_cold
     (List.length (Cache.entry_files (open_cache ()).Driver.cs_cache));
   let t_warm, d_warm, st_warm = timed_run files in
@@ -1631,9 +1655,22 @@ let cache_bench () =
   fault "version-skew" "bad-version" (fun () ->
       flip (entry_with "run-") (Cache.off_version + 1));
   fault "scc-bit-flip" "corrupt" (fun () ->
-      (* kill the outer tiers so the corrupted scc entry is actually read *)
-      Sys.remove (entry_with "run-");
-      Sys.remove (entry_with "ast-");
+      (* kill the outer tiers (whole-run, and whichever AST tier the
+         frontend wrote: per-unit "unit-" entries or the concat "ast-"
+         entry) so the corrupted scc entry is actually read *)
+      List.iter
+        (fun p ->
+          match Filename.basename p with
+          | b
+            when String.length b >= 4
+                 && List.exists
+                      (fun pre ->
+                        String.length b >= String.length pre
+                        && String.sub b 0 (String.length pre) = pre)
+                      [ "run-"; "ast-"; "unit-" ] ->
+              Sys.remove p
+          | _ -> ())
+        (Cache.entry_files (open_cache ()).Driver.cs_cache);
       let p = entry_with "scc-" in
       flip p (String.length (read_file p) - 1));
 
@@ -1673,6 +1710,7 @@ let cache_bench () =
          ("lines", ji (Cbench.Gen.project_lines files));
          ("mode", Jstr "poly");
          ("cold_s", jf t_cold);
+         ("t_compile_s", jf t_compile_cold);
          ("warm_s", jf t_warm);
          ("warm_speedup", jf (t_cold /. t_warm));
          ("dirty_unit_s", jf t_dirty);
@@ -1696,6 +1734,204 @@ let cache_bench () =
        (Sys.readdir dir);
      Sys.rmdir dir
    with Sys_error _ -> ());
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Frontend: per-unit parse+link vs megastring concat — compile-phase  *)
+(* wall time and peak heap on the million-line corpus, byte-identical  *)
+(* reports at jobs 1/4 under both frontends, zero link reparses on the *)
+(* generated corpus, and the per-unit AST cache re-parsing exactly the *)
+(* dirty unit; writes BENCH_frontend.json.                             *)
+(* TYPEQUAL_FRONTEND_LINES overrides the line target.                  *)
+(* ------------------------------------------------------------------ *)
+
+let frontend_bench () =
+  Fmt.pr "@.=== Frontend: per-unit parse+link vs megastring concat ===@.";
+  let b = List.hd Cbench.Suite.scale in
+  let target =
+    match Sys.getenv_opt "TYPEQUAL_FRONTEND_LINES" with
+    | Some v -> ( try int_of_string v with _ -> b.Cbench.Suite.b_lines)
+    | None -> b.Cbench.Suite.b_lines
+  in
+  let files =
+    Cbench.Gen.generate_project ~seed:b.Cbench.Suite.b_seed
+      ~target_lines:target ()
+  in
+  let lines = Cbench.Gen.project_lines files in
+  Fmt.pr "corpus %s: %d files, %d lines@.@." b.Cbench.Suite.b_name
+    (List.length files) lines;
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+
+  (* ---- compile phase: wall time and peak heap ---- *)
+  (* top_heap_words is a process-lifetime peak, so the lean path must be
+     measured FIRST: if the concat compile then pushes the peak higher,
+     the excess is attributable to the megastring pipeline *)
+  let co_pu = Driver.compile_sources ~frontend:Driver.Per_unit files in
+  let heap_pu = (Gc.quick_stat ()).Gc.top_heap_words in
+  let co_cc = Driver.compile_sources ~frontend:Driver.Concat files in
+  let heap_cc = (Gc.quick_stat ()).Gc.top_heap_words in
+  let t_pu = co_pu.Driver.co_t_compile in
+  let t_cc = co_cc.Driver.co_t_compile in
+  let fs =
+    match co_pu.Driver.co_frontend with
+    | Some fs -> fs
+    | None -> assert false
+  in
+  Fmt.pr "%-10s %10s %14s@." "frontend" "compile(s)" "top_heap(Mw)";
+  Fmt.pr "%-10s %10.3f %14.1f@." "per-unit" t_pu (float heap_pu /. 1e6);
+  Fmt.pr "%-10s %10.3f %14.1f@." "concat" t_cc (float heap_cc /. 1e6);
+  Fmt.pr
+    "per-unit phases: %d units, %d reparsed, lex %.3fs, parse %.3fs, build \
+     %.3fs, link %.3fs@."
+    fs.Driver.fs_units fs.Driver.fs_reparsed fs.Driver.fs_lex_s
+    fs.Driver.fs_parse_s fs.Driver.fs_build_s fs.Driver.fs_link_s;
+  let co_pu4 = Driver.compile_sources ~frontend:Driver.Per_unit ~jobs:4 files in
+  let t_pu4 = co_pu4.Driver.co_t_compile in
+  Fmt.pr "per-unit at jobs 4: %.3fs (%.2fx vs serial per-unit)@.@." t_pu4
+    (t_pu /. t_pu4);
+  check "both frontends produce the same program"
+    (List.length (Cfront.Cprog.functions co_pu.Driver.co_prog)
+     = List.length (Cfront.Cprog.functions co_cc.Driver.co_prog)
+    && List.length co_pu.Driver.co_diags
+       = List.length co_cc.Driver.co_diags)
+    "";
+  check "no link reparses on the generated corpus"
+    (fs.Driver.fs_reparsed = 0)
+    (Printf.sprintf " (%d)" fs.Driver.fs_reparsed);
+  check "per-unit serial compile >= 1.3x faster than concat"
+    (t_cc /. t_pu >= 1.3)
+    (Printf.sprintf " measured %.2fx" (t_cc /. t_pu));
+  check "per-unit compile peak heap strictly below concat's"
+    (heap_pu < heap_cc)
+    (Printf.sprintf " (%.1f Mw vs %.1f Mw)" (float heap_pu /. 1e6)
+       (float heap_cc /. 1e6));
+
+  (* ---- parity: full runs, both frontends, serial and jobs 4 ---- *)
+  (* the scale digest plus rendered diagnostics: everything a user sees *)
+  let fdigest (r : Driver.run) =
+    scale_digest r.Driver.results r.Driver.solver_stats
+    ^ String.concat "\n"
+        (List.map Cfront.Diag.to_string r.Driver.diagnostics)
+  in
+  let run frontend jobs =
+    fdigest (Driver.run_sources ~frontend ~jobs ~mode:Analysis.Mono files)
+  in
+  let d_pu1 = run Driver.Per_unit 1 in
+  let d_cc1 = run Driver.Concat 1 in
+  let d_pu4 = run Driver.Per_unit 4 in
+  let d_cc4 = run Driver.Concat 4 in
+  check "report+diags byte-identical: per-unit vs concat (serial)"
+    (d_pu1 = d_cc1) "";
+  check "report+diags byte-identical: per-unit vs concat (jobs 4)"
+    (d_pu4 = d_cc4) "";
+  check "report+diags byte-identical across jobs (per-unit)"
+    (d_pu1 = d_pu4) "";
+
+  (* ---- per-unit AST cache: editing one file re-parses only that file ---- *)
+  let bs = List.hd Cbench.Suite.scale_smoke in
+  let sfiles =
+    Cbench.Gen.generate_project ~seed:bs.Cbench.Suite.b_seed
+      ~target_lines:bs.Cbench.Suite.b_lines ()
+  in
+  let nunits = List.length sfiles in
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "typequal-frontend-bench-%d" (Unix.getpid ()))
+    in
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+    d
+  in
+  cache_used := true;
+  let cached_run files =
+    match Driver.open_cache ~opts_id:"bench" dir with
+    | None -> failwith "frontend bench: cannot open cache directory"
+    | Some cs ->
+        let r = Driver.run_sources ~mode:Analysis.Mono ~cache:cs files in
+        (fdigest r, Cache.stats cs.Driver.cs_cache)
+  in
+  let unit_counts (st : Cache.stats) =
+    match Hashtbl.find_opt st.Cache.by_kind "unit" with
+    | Some hm -> hm
+    | None -> (0, 0)
+  in
+  let d_cold, st_cold = cached_run sfiles in
+  let cold_hits, cold_misses = unit_counts st_cold in
+  check
+    (Printf.sprintf "cold run parses all %d units fresh" nunits)
+    ((cold_hits, cold_misses) = (0, nunits))
+    (Printf.sprintf " (unit tier %d hits / %d misses)" cold_hits cold_misses);
+  let dirty =
+    match List.rev sfiles with
+    | (name, src) :: rest -> List.rev ((name, src ^ "\n") :: rest)
+    | [] -> assert false
+  in
+  let d_dirty, st_dirty = cached_run dirty in
+  let dirty_hits, dirty_misses = unit_counts st_dirty in
+  check "dirty unit re-parses exactly one unit"
+    ((dirty_hits, dirty_misses) = (nunits - 1, 1))
+    (Printf.sprintf " (unit tier %d hits / %d misses)" dirty_hits
+       dirty_misses);
+  check "dirty-unit report byte-identical to cold" (d_dirty = d_cold) "";
+  cache_used := false;
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Sys.rmdir dir
+   with Sys_error _ -> ());
+  Fmt.pr "%s@."
+    (if !ok then "ALL FRONTEND CHECKS PASSED" else "FRONTEND CHECKS FAILED");
+
+  (* ---- BENCH_frontend.json ---- *)
+  let buf = Buffer.create 4096 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
+         ("corpus", Jstr b.Cbench.Suite.b_name);
+         ("files", ji (List.length files));
+         ("lines", ji lines);
+         ( "per_unit",
+           Jobj
+             [
+               ("t_compile_s", jf t_pu);
+               ("top_heap_words", ji heap_pu);
+               ("units", ji fs.Driver.fs_units);
+               ("reparsed", ji fs.Driver.fs_reparsed);
+               ("lex_s", jf fs.Driver.fs_lex_s);
+               ("parse_s", jf fs.Driver.fs_parse_s);
+               ("build_s", jf fs.Driver.fs_build_s);
+               ("link_s", jf fs.Driver.fs_link_s);
+             ] );
+         ( "concat",
+           Jobj
+             [ ("t_compile_s", jf t_cc); ("top_heap_words", ji heap_cc) ] );
+         ("compile_speedup_serial", jf (t_cc /. t_pu));
+         ("per_unit_jobs4_t_compile_s", jf t_pu4);
+         ( "reports_identical",
+           jb (d_pu1 = d_cc1 && d_pu4 = d_cc4 && d_pu1 = d_pu4) );
+         ( "dirty_unit",
+           Jobj
+             [
+               ("units", ji nunits);
+               ("unit_tier_hits", ji dirty_hits);
+               ("unit_tier_misses", ji dirty_misses);
+               ("report_identical", jb (d_dirty = d_cold));
+             ] );
+         ("all_checks_passed", jb !ok);
+       ]);
+  let oc = open_out "BENCH_frontend.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_frontend.json@.";
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -1727,6 +1963,8 @@ let () =
   if want "micro" then micro ();
   if want "cache" then cache_bench ();
   if want "hotpath" then hotpath ();
-  (* scale only when asked for by name: the corpus is a million lines *)
+  (* scale and frontend only when asked for by name: the corpus is a
+     million lines *)
   if List.mem "scale" args || List.mem "all" args then scale ();
+  if List.mem "frontend" args || List.mem "all" args then frontend_bench ();
   write_json ()

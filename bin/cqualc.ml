@@ -94,7 +94,7 @@ let source_of_input = function
   | Project files -> Driver.concat_sources files
 
 let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
-    ~cache ~print_diags mode name input =
+    ~cache ~frontend ~print_diags mode name input =
   let budget = budget_of_spec budget in
   let r =
     match input with
@@ -102,8 +102,8 @@ let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
         Driver.run_source ~mode ~rules ?budget ~compact ~jobs ~max_errors
           ?cache ~unit src
     | Project files ->
-        Driver.run_sources ~mode ~rules ?budget ~compact ~jobs ~max_errors
-          ?cache files
+        Driver.run_sources ~frontend ~mode ~rules ?budget ~compact ~jobs
+          ~max_errors ?cache files
   in
   let res = r.Driver.results in
   (* diagnostics are a property of the source, not the mode: print them
@@ -131,6 +131,18 @@ let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
     Fmt.pr "solver: %a@." Typequal.Solver.pp_stats r.Driver.solver_stats;
     Fmt.pr "fdg: %d sccs, largest %d, wavefront width %d@."
       r.Driver.fdg_scc_count r.Driver.fdg_largest_scc r.Driver.wavefront_width;
+    (match r.Driver.frontend with
+    | Some fs ->
+        Fmt.pr
+          "frontend: %d units, %d reparsed, lex %.3fs, parse %.3fs, build \
+           %.3fs, link %.3fs@."
+          fs.Driver.fs_units fs.Driver.fs_reparsed fs.Driver.fs_lex_s
+          fs.Driver.fs_parse_s fs.Driver.fs_build_s fs.Driver.fs_link_s
+    | None -> ());
+    (match Driver.oversubscription ~jobs with
+    | Some cores ->
+        Fmt.pr "oversubscribed: %d jobs on %d available cores@." jobs cores
+    | None -> ());
     match r.Driver.par with
     | Some p ->
         Fmt.pr "parallel: %d jobs, %d tasks, generate %.3fs, merge %.3fs@."
@@ -207,12 +219,20 @@ let rules_of_lattice_file path qual_override =
         exit 2)
 
 let main files bench mode positions taint flow insensitive stats budget jobs
-    max_errors no_compact lattice qual dump_lattice cache_dir gc =
+    max_errors no_compact concat_frontend lattice qual dump_lattice cache_dir
+    gc =
   (match Typequal.Gctune.setup ?flag:gc () with
   | Ok _ -> ()
   | Error m ->
       Fmt.epr "error: %s@." m;
       exit 2);
+  (match Driver.oversubscription ~jobs with
+  | Some cores ->
+      Fmt.epr
+        "warning: --jobs %d exceeds the %d available cores; domains will \
+         contend rather than parallelize@."
+        jobs cores
+  | None -> ());
   let rules =
     match lattice with
     | Some path -> rules_of_lattice_file path qual
@@ -290,6 +310,8 @@ let main files bench mode positions taint flow insensitive stats budget jobs
     let run_one =
       run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors
         ~compact:(not no_compact) ~cache
+        ~frontend:
+          (if concat_frontend then Driver.Concat else Driver.Per_unit)
     in
     match
       let runs =
@@ -438,6 +460,17 @@ let no_compact =
            (the ablation baseline). Reports are identical either way; \
            only constraint-system size and speed differ.")
 
+let concat_frontend =
+  Arg.(
+    value & flag
+    & info [ "concat-frontend" ]
+        ~doc:
+          "Parse multi-file projects by concatenating the translation units \
+           into one program (the pre-per-unit pipeline, kept as a parity \
+           oracle). Reports, diagnostics and counters are byte-identical to \
+           the default per-unit frontend; only speed, memory, and AST-cache \
+           granularity differ.")
+
 let lattice =
   Arg.(
     value
@@ -501,8 +534,8 @@ let cmd =
     (Cmd.info "cqualc" ~doc)
     Term.(
       const main $ files $ bench $ mode $ positions $ taint $ flow $ insensitive
-      $ stats $ budget $ jobs $ max_errors $ no_compact $ lattice $ qual
-      $ dump_lattice $ cache_dir $ gc)
+      $ stats $ budget $ jobs $ max_errors $ no_compact $ concat_frontend
+      $ lattice $ qual $ dump_lattice $ cache_dir $ gc)
 
 (* Last line of defense: whatever leaks out of the pipeline becomes a
    one-line message and exit 2 — users should never see a backtrace.

@@ -66,13 +66,13 @@ let alpha = ['a'-'z' 'A'-'Z' '_']
 let alnum = ['a'-'z' 'A'-'Z' '_' '0'-'9']
 let ws = [' ' '\t' '\r']
 
-rule token = parse
-  | ws+                    { token lexbuf }
-  | '\n'                   { Lexing.new_line lexbuf; token lexbuf }
+rule token itab = parse
+  | ws+                    { token itab lexbuf }
+  | '\n'                   { Lexing.new_line lexbuf; token itab lexbuf }
   | "/*"                   { construct_start := Lexing.lexeme_start_p lexbuf;
-                             block_comment lexbuf; token lexbuf }
-  | "//" [^ '\n']*         { token lexbuf }
-  | '#' [^ '\n']*          { token lexbuf }  (* preprocessor line: skipped *)
+                             block_comment lexbuf; token itab lexbuf }
+  | "//" [^ '\n']*         { token itab lexbuf }
+  | '#' [^ '\n']*          { token itab lexbuf }  (* preprocessor line: skipped *)
   | "0x" hex+ as s         { INT_LIT (int_of_string s) }
   | '0' ['0'-'7']+ as s    { INT_LIT (int_of_string ("0o" ^ String.sub s 1 (String.length s - 1))) }
   | digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)? as s
@@ -86,9 +86,13 @@ rule token = parse
                                    s.[!i] >= '0' && s.[!i] <= '9' do incr i done;
                              INT_LIT (int_of_string (String.sub s 0 !i)) }
   | '$' (alpha alnum* as s) { QUALNAME s }
-  | alpha alnum* as s      { match Hashtbl.find_opt keywords s with
+  | alpha alnum* as s      { (* one lookup resolves keywords and interns
+                                identifiers: each distinct name in a unit
+                                shares a single boxed IDENT *)
+                             match Hashtbl.find_opt itab s with
                              | Some t -> t
-                             | None -> IDENT s }
+                             | None -> let t = IDENT s in
+                                       Hashtbl.add itab s t; t }
   | '\'' '\\' (_ as c) '\'' { CHAR_LIT (unescape c) }
   | '\'' ([^ '\\' '\''] as c) '\'' { CHAR_LIT c }
   | '"'                    { construct_start := Lexing.lexeme_start_p lexbuf;
@@ -170,12 +174,17 @@ let token_span lexbuf = function
   | STRING_LIT _ -> mkspan !construct_start (Lexing.lexeme_end_p lexbuf)
   | _ -> span_here lexbuf
 
+(* Fresh per-call identifier intern table, pre-seeded with the keywords
+   so the token rule resolves keyword-vs-identifier in one lookup. *)
+let fresh_interns () = Hashtbl.copy keywords
+
 (** Tokenize a whole source string, pairing each token with its span.
     Raises {!Lex_error} on the first lexical error. *)
 let tokenize (src : string) : (Ctoken.t * Diag.span) list =
   let lexbuf = init_lexbuf src in
+  let itab = fresh_interns () in
   let rec go acc =
-    let t = token lexbuf in
+    let t = token itab lexbuf in
     let sp = token_span lexbuf t in
     match t with
     | EOF -> List.rev ((EOF, sp) :: acc)
@@ -190,13 +199,14 @@ let tokenize (src : string) : (Ctoken.t * Diag.span) list =
 let tokenize_partial ?(max_errors = 20) (src : string) :
     (Ctoken.t * Diag.span) list * Diag.t list =
   let lexbuf = init_lexbuf src in
+  let itab = fresh_interns () in
   let diags = ref [] in
   let eof_entry () =
     let p = Lexing.lexeme_end_p lexbuf in
     (EOF, mkspan p p)
   in
   let rec go acc =
-    match token lexbuf with
+    match token itab lexbuf with
     | EOF -> List.rev ((EOF, span_here lexbuf) :: acc)
     | t -> go ((t, token_span lexbuf t) :: acc)
     | exception Lex_error d ->
@@ -209,4 +219,71 @@ let tokenize_partial ?(max_errors = 20) (src : string) :
   in
   let toks = go [] in
   (toks, List.rev !diags)
+
+(** Allocation-lean recovering tokenizer for the per-unit frontend:
+    same tokens, spans, diagnostics, and recovery semantics as
+    {!tokenize_partial}, but the result is a flat {!Tokbuf.t} — no cons
+    cell, tuple, or span record per token, and identifiers interned so
+    repeated names share one boxed token. *)
+let tokenize_buf ?(max_errors = 20) (src : string) : Tokbuf.t * Diag.t list =
+  let lexbuf = init_lexbuf src in
+  let itab = fresh_interns () in
+  let diags = ref [] in
+  let n_diags = ref 0 in
+  let cap = ref (max 64 (String.length src / 8)) in
+  let toks = ref (Array.make !cap Ctoken.EOF) in
+  let spans = ref (Array.make (4 * !cap) 0) in
+  let n = ref 0 in
+  let push t sl sc el ec =
+    if !n = !cap then begin
+      let cap' = 2 * !cap in
+      let toks' = Array.make cap' Ctoken.EOF in
+      let spans' = Array.make (4 * cap') 0 in
+      Array.blit !toks 0 toks' 0 !n;
+      Array.blit !spans 0 spans' 0 (4 * !n);
+      cap := cap';
+      toks := toks';
+      spans := spans'
+    end;
+    let o = 4 * !n in
+    !toks.(!n) <- t;
+    !spans.(o) <- sl;
+    !spans.(o + 1) <- sc;
+    !spans.(o + 2) <- el;
+    !spans.(o + 3) <- ec
+  in
+  let push_tok t =
+    (* the span components of [mkspan], written without the record *)
+    let s =
+      match t with
+      | STRING_LIT _ -> !construct_start
+      | _ -> Lexing.lexeme_start_p lexbuf
+    in
+    let e = Lexing.lexeme_end_p lexbuf in
+    let sc = col_of s in
+    push t s.Lexing.pos_lnum sc e.Lexing.pos_lnum (max (col_of e - 1) sc);
+    incr n
+  in
+  let push_eof_at p =
+    let c = col_of p in
+    push EOF p.Lexing.pos_lnum c p.Lexing.pos_lnum c;
+    incr n
+  in
+  let rec go () =
+    match token itab lexbuf with
+    | EOF -> push_tok EOF
+    | t ->
+        push_tok t;
+        go ()
+    | exception Lex_error d ->
+        diags := d :: !diags;
+        incr n_diags;
+        if !n_diags >= max_errors then push_eof_at (Lexing.lexeme_end_p lexbuf)
+        else if d.Diag.d_code = "E0101" then go ()
+        else (* unterminated construct: input is exhausted *)
+          push_eof_at (Lexing.lexeme_end_p lexbuf)
+  in
+  go ();
+  ( { Tokbuf.toks = !toks; spans = !spans; n = !n; interns = itab },
+    List.rev !diags )
 }

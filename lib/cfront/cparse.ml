@@ -13,7 +13,10 @@ open Cast
 exception Parse_error of string * Diag.span
 
 type st = {
-  toks : (Ctoken.t * Diag.span) array;
+  t_toks : Ctoken.t array;  (* flat token array; last entry is EOF *)
+  t_spans : int array;  (* 4 ints per token (sl, sc, el, ec); spans are
+                           rebuilt lazily, only on paths that report them *)
+  t_len : int;
   mutable pos : int;
   typedefs : (string, unit) Hashtbl.t;
   enum_consts : (string, int) Hashtbl.t;
@@ -22,32 +25,67 @@ type st = {
       (* panic-mode recovery: function bodies that fail to parse demote to
          prototypes instead of aborting the file *)
   mutable diags : Diag.t list;  (* reverse order *)
+  mutable n_diags : int;  (* List.length diags, maintained incrementally *)
   mutable degraded : (string * string) list;  (* (function, reason) *)
+  mutable new_typedefs : string list;
+      (* typedef names registered while parsing, newest first: the unit's
+         typedef exports, replayed into the link environment *)
+  mutable new_enums : (string * int) list;
+      (* enum constants registered while parsing, newest first *)
 }
 
-let make_state ?(recover = false) toks =
+(* A unit parse may be seeded with the accumulated environment of the
+   units linked before it: their typedef and enum-constant exports and
+   the running anonymous-tag counter, so [struct$N] numbering and
+   typedef-sensitive disambiguation match a whole-program parse. *)
+let make_state_tb ?(recover = false) ?(typedefs = []) ?(enums = [])
+    ?(anon = 0) (tb : Tokbuf.t) =
+  let tds = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace tds n ()) typedefs;
+  let ecs = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace ecs n v) enums;
   {
-    toks = Array.of_list toks;
+    t_toks = tb.Tokbuf.toks;
+    t_spans = tb.Tokbuf.spans;
+    t_len = tb.Tokbuf.n;
     pos = 0;
-    typedefs = Hashtbl.create 16;
-    enum_consts = Hashtbl.create 16;
-    anon = 0;
+    typedefs = tds;
+    enum_consts = ecs;
+    anon;
     recover;
     diags = [];
+    n_diags = 0;
     degraded = [];
+    new_typedefs = [];
+    new_enums = [];
   }
 
-let peek st = fst st.toks.(st.pos)
+let make_state ?(recover = false) toks =
+  make_state_tb ~recover (Tokbuf.of_list toks)
+
+let add_diag st d =
+  st.diags <- d :: st.diags;
+  st.n_diags <- st.n_diags + 1
+
+let peek st = st.t_toks.(st.pos)
 let peek2 st =
-  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
-  else Ctoken.EOF
-let span st = snd st.toks.(st.pos)
-let line st = (span st).Diag.sl
+  if st.pos + 1 < st.t_len then st.t_toks.(st.pos + 1) else Ctoken.EOF
+
+let span st : Diag.span =
+  let o = 4 * st.pos in
+  {
+    Diag.sl = st.t_spans.(o);
+    sc = st.t_spans.(o + 1);
+    el = st.t_spans.(o + 2);
+    ec = st.t_spans.(o + 3);
+  }
+
+let line st = st.t_spans.(4 * st.pos)
 
 let next st =
-  let t = st.toks.(st.pos) in
-  if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1;
-  fst t
+  let t = st.t_toks.(st.pos) in
+  if st.pos + 1 < st.t_len then st.pos <- st.pos + 1;
+  t
 
 let err st msg = raise (Parse_error (msg, span st))
 
@@ -77,6 +115,14 @@ let fresh_anon st prefix =
   Printf.sprintf "%s$%d" prefix st.anon
 
 let is_typedef st name = Hashtbl.mem st.typedefs name
+
+let register_typedef st name =
+  Hashtbl.replace st.typedefs name ();
+  st.new_typedefs <- name :: st.new_typedefs
+
+let register_enum_const st name v =
+  Hashtbl.replace st.enum_consts name v;
+  st.new_enums <- (name, v) :: st.new_enums
 
 (* Does the current token start a type (decl-specs)? *)
 let starts_type st =
@@ -233,7 +279,7 @@ let rec parse_decl_specs st (hoist : global list ref) : specs =
                     in
                     v := value
                 | _ -> ());
-                Hashtbl.replace st.enum_consts x !v;
+                register_enum_const st x !v;
                 items := (x, !v) :: !items;
                 incr v;
                 (match peek st with
@@ -555,9 +601,9 @@ and parse_cast_expr st hoist : expr =
   | _ -> parse_unary st hoist
 
 and starts_type_at st pos =
-  if pos >= Array.length st.toks then false
+  if pos >= st.t_len then false
   else
-    match fst st.toks.(pos) with
+    match st.t_toks.(pos) with
     | Ctoken.KW_VOID | KW_CHAR | KW_SHORT | KW_INT | KW_LONG | KW_FLOAT
     | KW_DOUBLE | KW_SIGNED | KW_UNSIGNED | KW_CONST | KW_VOLATILE
     | KW_STRUCT | KW_UNION | KW_ENUM | QUALNAME _ ->
@@ -865,7 +911,7 @@ and parse_local_decl st hoist : decl list =
         end
         else None
       in
-      if specs.s_typedef then Hashtbl.replace st.typedefs name ();
+      if specs.s_typedef then register_typedef st name;
       let acc = { d_name = name; d_type = t; d_init = init; d_line = ln } :: acc in
       match peek st with
       | COMMA ->
@@ -936,7 +982,7 @@ let parse_global st (hoist : global list ref) : global list =
               match parse_block st hoist with
               | body -> mk body
               | exception Parse_error (m, sp) ->
-                  st.diags <- Diag.error ~code:"E0202" sp m :: st.diags;
+                  add_diag st (Diag.error ~code:"E0202" sp m);
                   st.degraded <-
                     (fname, Printf.sprintf "body failed to parse: %s" m)
                     :: st.degraded;
@@ -955,7 +1001,7 @@ let parse_global st (hoist : global list ref) : global list =
           in
           let g =
             if specs.s_typedef then begin
-              Hashtbl.replace st.typedefs name ();
+              register_typedef st name;
               GTypedef (name, t, ln)
             end
             else
@@ -1049,13 +1095,12 @@ type presult = {
           parse, with the reason *)
 }
 
-(** Parse with panic-mode error recovery: always returns a (possibly
-    partial) program plus the diagnostics encountered, up to
-    [max_errors] (default 20; an [E0299] note marks the cutoff). *)
-let parse_program_partial ?(max_errors = 20) (src : string) : presult =
-  let toks, lex_diags = Clexer.tokenize_partial ~max_errors src in
-  let st = make_state ~recover:true toks in
-  st.diags <- List.rev lex_diags;
+(* The panic-mode top-level loop shared by the whole-program and per-unit
+   entry points. [count_base] is how many diagnostics earlier units of
+   the same run already consumed: the cap fires when the running total
+   reaches [max_errors], but the E0299 note always quotes the caller's
+   original budget. Returns [true] when it gave up. *)
+let parse_toplevel st ~max_errors ~count_base : program * bool =
   let globals = ref [] in
   let capped = ref false in
   while peek st <> EOF && not !capped do
@@ -1063,22 +1108,103 @@ let parse_program_partial ?(max_errors = 20) (src : string) : presult =
     (match parse_global st hoist with
     | gs -> globals := List.rev_append gs (List.rev_append !hoist !globals)
     | exception Parse_error (m, sp) ->
-        st.diags <- Diag.error ~code:"E0201" sp m :: st.diags;
+        add_diag st (Diag.error ~code:"E0201" sp m);
         (* keep whatever was hoisted before the failure *)
         globals := List.rev_append !hoist !globals;
         sync st);
-    if List.length st.diags >= max_errors && peek st <> EOF then begin
+    if count_base + st.n_diags >= max_errors && peek st <> EOF then begin
       capped := true;
-      st.diags <-
-        Diag.note ~code:"E0299" (span st)
-          (Printf.sprintf
-             "too many errors (%d); giving up on the rest of the file"
-             max_errors)
-        :: st.diags
+      add_diag st
+        (Diag.note ~code:"E0299" (span st)
+           (Printf.sprintf
+              "too many errors (%d); giving up on the rest of the file"
+              max_errors))
     end
   done;
+  (List.rev !globals, !capped)
+
+(** Parse with panic-mode error recovery: always returns a (possibly
+    partial) program plus the diagnostics encountered, up to
+    [max_errors] (default 20; an [E0299] note marks the cutoff). *)
+let parse_program_partial ?(max_errors = 20) (src : string) : presult =
+  let toks, lex_diags = Clexer.tokenize_partial ~max_errors src in
+  let st = make_state ~recover:true toks in
+  st.diags <- List.rev lex_diags;
+  st.n_diags <- List.length lex_diags;
+  let prog, _ = parse_toplevel st ~max_errors ~count_base:0 in
   {
-    pr_prog = List.rev !globals;
+    pr_prog = prog;
     pr_diags = List.rev st.diags;
     pr_degraded = List.rev st.degraded;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** The cross-unit parser environment a unit parse can be seeded with:
+    typedef and enum-constant exports of the units linked before it, the
+    running anonymous-tag counter, and the number of diagnostics those
+    units already consumed from the run's error budget. *)
+type useed = {
+  us_typedefs : string list;
+  us_enums : (string * int) list;
+  us_anon : int;
+  us_count_base : int;
+}
+
+let empty_seed =
+  { us_typedefs = []; us_enums = []; us_anon = 0; us_count_base = 0 }
+
+type uresult = {
+  ur_pr : presult;
+  ur_typedefs : string list;
+      (** typedef names this unit registered, in registration order *)
+  ur_enums : (string * int) list;
+      (** enum constants this unit registered, in registration order *)
+  ur_anon : int;  (** anonymous struct/union/enum tags this unit created *)
+  ur_idents : string list;
+      (** distinct identifiers lexed from the unit: the link step's
+          evidence that a speculative (unseeded) parse could not have
+          been influenced by earlier units' exports *)
+  ur_first_span : Diag.span;
+      (** span of the unit's first token — where a whole-program parse
+          would report "too many errors" if the budget ran out exactly at
+          the boundary before this unit *)
+  ur_capped : bool;  (** the unit itself emitted E0299 and gave up *)
+}
+
+(** Parse one translation unit over an already-lexed token buffer.
+    Seeded with {!empty_seed} this is a speculative, order-independent
+    parse; the link step re-invokes it with the real environment only
+    when the unit's identifiers overlap earlier exports, the unit mints
+    anonymous tags after earlier units did, or the diagnostic budget
+    spills across the unit boundary (see DESIGN.md "Per-unit frontend"). *)
+let parse_unit ?(max_errors = 20) ?(seed = empty_seed) (tb : Tokbuf.t)
+    ~(lex_diags : Diag.t list) : uresult =
+  let st =
+    make_state_tb ~recover:true ~typedefs:seed.us_typedefs
+      ~enums:seed.us_enums ~anon:seed.us_anon tb
+  in
+  st.diags <- List.rev lex_diags;
+  st.n_diags <- List.length lex_diags;
+  let first_span =
+    if tb.Tokbuf.n > 0 then Tokbuf.span tb 0 else Diag.dummy_span
+  in
+  let prog, capped =
+    parse_toplevel st ~max_errors ~count_base:seed.us_count_base
+  in
+  {
+    ur_pr =
+      {
+        pr_prog = prog;
+        pr_diags = List.rev st.diags;
+        pr_degraded = List.rev st.degraded;
+      };
+    ur_typedefs = List.rev st.new_typedefs;
+    ur_enums = List.rev st.new_enums;
+    ur_anon = st.anon - seed.us_anon;
+    ur_idents = Tokbuf.ident_names tb;
+    ur_first_span = first_span;
+    ur_capped = capped;
   }

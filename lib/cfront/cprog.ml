@@ -40,6 +40,37 @@ let build (prog : program) : t =
     prog;
   t
 
+(** Link per-unit tables into one whole-program table, in unit order.
+    Deterministically equivalent to {!build} over the concatenation of
+    the units' globals: typedefs, struct/union layouts, function
+    definitions and global variables resolve last-definition-wins, while
+    prototypes keep the first declaration — each per-unit table has
+    already collapsed its within-unit duplicates the same way, so a
+    cross-unit table fold in file order reproduces the sequential scan. *)
+let merge (units : t list) : t =
+  let t =
+    {
+      typedefs = Hashtbl.create 64;
+      comps = Hashtbl.create 64;
+      fundefs = Hashtbl.create 64;
+      protos = Hashtbl.create 64;
+      globals = Hashtbl.create 64;
+      order = List.concat_map (fun u -> u.order) units;
+    }
+  in
+  List.iter
+    (fun u ->
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.typedefs k v) u.typedefs;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.comps k v) u.comps;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.fundefs k v) u.fundefs;
+      Hashtbl.iter
+        (fun k v ->
+          if not (Hashtbl.mem t.protos k) then Hashtbl.replace t.protos k v)
+        u.protos;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.globals k v) u.globals)
+    units;
+  t
+
 (** Expand typedefs away (macro-expansion semantics, Section 4.2): the
     qualifiers written on the use site are merged with the definition's.
     Function types expand their parameter and return types. *)

@@ -1,0 +1,79 @@
+(** Flat token buffer: the allocation-lean product of the per-unit lexer.
+
+    The legacy tokenizer materializes a [(Ctoken.t * Diag.span) list] —
+    a cons cell, a tuple, and a span record per token, ~14 words each,
+    which dominates frontend allocation on million-line corpora. A
+    [Tokbuf.t] instead holds one pointer array of tokens (identifiers
+    interned, so each distinct name owns a single boxed [IDENT]) and one
+    flat [int array] of span components; spans are rebuilt lazily, only
+    on the error paths that actually report them.
+
+    The intern table doubles as the unit's identifier set: the link step
+    of the per-unit frontend asks {!mentions} to decide whether a
+    speculatively parsed unit could have been influenced by typedef or
+    enum-constant names exported by earlier units (see DESIGN.md
+    "Per-unit frontend"). *)
+
+type t = {
+  toks : Ctoken.t array;  (** [n] tokens; the last is always [EOF] *)
+  spans : int array;  (** 4 ints per token: sl, sc, el, ec *)
+  n : int;
+  interns : (string, Ctoken.t) Hashtbl.t;
+      (** name -> its unique token: keywords map to their [KW_*], every
+          identifier seen in this unit maps to its shared [IDENT] *)
+}
+
+let length t = t.n
+
+let tok t i = t.toks.(i)
+
+let span t i : Diag.span =
+  let o = 4 * i in
+  {
+    Diag.sl = t.spans.(o);
+    sc = t.spans.(o + 1);
+    el = t.spans.(o + 2);
+    ec = t.spans.(o + 3);
+  }
+
+let line t i = t.spans.(4 * i)
+
+(** Did this unit's source mention [name] as an identifier? Keywords map
+    to keyword tokens, so they never answer [true]. *)
+let mentions t name =
+  match Hashtbl.find_opt t.interns name with
+  | Some (Ctoken.IDENT _) -> true
+  | _ -> false
+
+(** Distinct identifier names lexed from the unit, in no particular
+    order — the persistent form of {!mentions} carried by the per-unit
+    AST cache payload (the intern table itself is not marshaled). *)
+let ident_names t =
+  Hashtbl.fold
+    (fun name tok acc ->
+      match tok with Ctoken.IDENT _ -> name :: acc | _ -> acc)
+    t.interns []
+
+(** Compatibility bridge for the legacy list-based consumers. *)
+let to_list t =
+  List.init t.n (fun i -> (tok t i, span t i))
+
+let of_list (l : (Ctoken.t * Diag.span) list) : t =
+  let n = List.length l in
+  let toks = Array.make (max n 1) Ctoken.EOF in
+  let spans = Array.make (4 * max n 1) 0 in
+  let interns = Hashtbl.create 64 in
+  List.iteri
+    (fun i (tk, (sp : Diag.span)) ->
+      toks.(i) <- tk;
+      let o = 4 * i in
+      spans.(o) <- sp.Diag.sl;
+      spans.(o + 1) <- sp.Diag.sc;
+      spans.(o + 2) <- sp.Diag.el;
+      spans.(o + 3) <- sp.Diag.ec;
+      match tk with
+      | Ctoken.IDENT name ->
+          if not (Hashtbl.mem interns name) then Hashtbl.add interns name tk
+      | _ -> ())
+    l;
+  { toks; spans; n; interns }

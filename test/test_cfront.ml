@@ -397,4 +397,78 @@ let extra_tests =
       test_forward_struct_ref;
   ]
 
-let tests = tests @ extra_tests
+(* ---------------- flat token buffer vs legacy list lexer ------------- *)
+
+(* tokenize_buf is the per-unit frontend's allocation-lean lexer; it must
+   agree with tokenize_partial token-for-token, span-for-span, and
+   diagnostic-for-diagnostic — on clean sources and on every recovery
+   path (bad characters, unterminated constructs, the error cap) *)
+let check_tokbuf_parity label ?max_errors src =
+  let toks_l, diags_l = Clexer.tokenize_partial ?max_errors src in
+  let tb, diags_b = Clexer.tokenize_buf ?max_errors src in
+  Alcotest.(check int)
+    (label ^ ": token count")
+    (List.length toks_l) (Tokbuf.length tb);
+  List.iteri
+    (fun i (tk, sp) ->
+      if Tokbuf.tok tb i <> tk then
+        Alcotest.failf "%s: token %d differs" label i;
+      if Tokbuf.span tb i <> sp then
+        Alcotest.failf "%s: span %d differs (%d:%d-%d:%d vs %d:%d-%d:%d)"
+          label i sp.Diag.sl sp.Diag.sc sp.Diag.el sp.Diag.ec
+          (Tokbuf.span tb i).Diag.sl (Tokbuf.span tb i).Diag.sc
+          (Tokbuf.span tb i).Diag.el (Tokbuf.span tb i).Diag.ec)
+    toks_l;
+  Alcotest.(check (list string))
+    (label ^ ": diagnostics")
+    (List.map Diag.to_string diags_l)
+    (List.map Diag.to_string diags_b)
+
+let test_tokbuf_parity () =
+  List.iter
+    (fun (name, src) -> check_tokbuf_parity name src)
+    Cbench.Programs.all;
+  List.iter
+    (fun (name, src) -> check_tokbuf_parity ("mini/" ^ name) src)
+    Cbench.Programs.miniproject;
+  List.iter
+    (fun seed ->
+      check_tokbuf_parity
+        (Printf.sprintf "gen seed %d" seed)
+        (Cbench.Gen.generate ~seed ~target_lines:500 ()))
+    [ 41; 42 ]
+
+let test_tokbuf_parity_on_errors () =
+  List.iter
+    (fun (label, src) -> check_tokbuf_parity label src)
+    [
+      ("stray chars", "int a;\n@\nint b;\n`\nint c;\n");
+      ("unterminated string", "int a;\nchar *s = \"oops;\nint b;\n");
+      ("unterminated comment", "int a;\n/* never closed\nint b;\n");
+      ("string with escapes", "char *s = \"a\\t\\\"b\\n\";\nint x;\n");
+    ];
+  (* the lex-error cap: both lexers must stop at the same point *)
+  let flood = String.concat "" (List.init 40 (fun _ -> "@\n")) in
+  check_tokbuf_parity "error cap" ~max_errors:5 flood;
+  check_tokbuf_parity "error cap default" flood
+
+let test_tokbuf_interns () =
+  let tb, _ = Clexer.tokenize_buf "int foo; int bar; foo_t baz;\n" in
+  Alcotest.(check bool) "mentions foo" true (Tokbuf.mentions tb "foo");
+  Alcotest.(check bool) "mentions foo_t" true (Tokbuf.mentions tb "foo_t");
+  Alcotest.(check bool) "keyword not an ident" false (Tokbuf.mentions tb "int");
+  Alcotest.(check bool) "absent name" false (Tokbuf.mentions tb "quux");
+  let names = List.sort String.compare (Tokbuf.ident_names tb) in
+  Alcotest.(check (list string)) "ident set" [ "bar"; "baz"; "foo"; "foo_t" ]
+    names
+
+let tokbuf_tests =
+  [
+    Alcotest.test_case "tokenize_buf = tokenize_partial (clean)" `Quick
+      test_tokbuf_parity;
+    Alcotest.test_case "tokenize_buf = tokenize_partial (errors)" `Quick
+      test_tokbuf_parity_on_errors;
+    Alcotest.test_case "token buffer intern table" `Quick test_tokbuf_interns;
+  ]
+
+let tests = tests @ extra_tests @ tokbuf_tests

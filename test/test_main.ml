@@ -9,6 +9,7 @@ let () =
       ("resilience", Test_resilience.tests);
       ("cqual", Test_cqual.tests);
       ("parallel", Test_parallel.tests);
+      ("frontend", Test_frontend.tests);
       ("cache", Test_cache.tests);
       ("compact", Test_compact.tests);
       ("eval", Test_eval.tests);
