@@ -53,6 +53,16 @@
                unit; writes BENCH_frontend.json. Only runs when named
                explicitly (or under "all").
                TYPEQUAL_FRONTEND_LINES overrides the line target.
+     daemon  — the persistent Session behind typequald on the CI smoke
+               corpus: cold-analysis wall time, warm position-query
+               latency percentiles (p50 target <= 10 ms, enforced),
+               single-unit edit + re-query percentiles with the honest
+               speedup vs cold (10x target recorded, not enforced: the
+               monotone store's linear rebuild floor caps it), and a
+               warm-vs-cold render byte-identity check; writes
+               BENCH_daemon.json. Only runs when named explicitly (or
+               under "all"). TYPEQUAL_DAEMON_LINES overrides the line
+               target.
 
    Every section that runs records wall times, sizes and solver stats
    into BENCH_solver.json (machine-readable, tracked across PRs). *)
@@ -1286,28 +1296,58 @@ let scale () =
   let base = ref nan in
   List.iter
     (fun jobs ->
-      let t0 = Unix.gettimeofday () in
-      let env, ifaces = Analysis.run ~jobs Analysis.Poly prog in
-      let r = Report.measure env ifaces in
-      let analyze_s = Unix.gettimeofday () -. t0 in
-      if jobs = 1 then base := analyze_s;
-      let st = Analysis.stats env in
-      digests := (jobs, scale_digest r st) :: !digests;
-      Fmt.pr "%-5d %11.3f %8.2fx %14.1f %12d %9d@." jobs analyze_s
-        (!base /. analyze_s)
-        (float st.TS.top_heap_words /. 1e6)
-        st.TS.vars_created r.Report.possible;
-      jrows :=
-        Jobj
-          [
-            ("jobs", ji jobs);
-            ("analyze_s", jf analyze_s);
-            ("speedup_vs_serial", jf (!base /. analyze_s));
-            ("possible", ji r.Report.possible);
-            ("type_errors", ji r.Report.type_errors);
-            ("solver", jstats st);
-          ]
-        :: !jrows)
+      (* honesty: a jobs-N wall time on a host with fewer than N cores
+         measures scheduler contention, not speedup — record the row as
+         skipped with the reason instead of publishing a fake number *)
+      let cores_ok = cores >= jobs in
+      if (not cores_ok) && jobs > 1 then begin
+        let reason =
+          Printf.sprintf
+            "host has %d core%s; a jobs-%d row would measure contention, \
+             not speedup"
+            cores
+            (if cores = 1 then "" else "s")
+            jobs
+        in
+        Fmt.pr "%-5d %11s  skipped: %s@." jobs "-" reason;
+        jrows :=
+          Jobj
+            [
+              ("jobs", ji jobs);
+              ("cores_available", ji cores);
+              ("cores_ok", jb false);
+              ("skipped", jb true);
+              ("reason", Jstr reason);
+            ]
+          :: !jrows
+      end
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let env, ifaces = Analysis.run ~jobs Analysis.Poly prog in
+        let r = Report.measure env ifaces in
+        let analyze_s = Unix.gettimeofday () -. t0 in
+        if jobs = 1 then base := analyze_s;
+        let st = Analysis.stats env in
+        digests := (jobs, scale_digest r st) :: !digests;
+        Fmt.pr "%-5d %11.3f %8.2fx %14.1f %12d %9d@." jobs analyze_s
+          (!base /. analyze_s)
+          (float st.TS.top_heap_words /. 1e6)
+          st.TS.vars_created r.Report.possible;
+        jrows :=
+          Jobj
+            [
+              ("jobs", ji jobs);
+              ("cores_available", ji cores);
+              ("cores_ok", jb cores_ok);
+              ("skipped", jb false);
+              ("analyze_s", jf analyze_s);
+              ("speedup_vs_serial", jf (!base /. analyze_s));
+              ("possible", ji r.Report.possible);
+              ("type_errors", ji r.Report.type_errors);
+              ("solver", jstats st);
+            ]
+          :: !jrows
+      end)
     [ 1; 2; 4; 8 ];
   let ok = ref true in
   let check name cond detail =
@@ -1935,6 +1975,184 @@ let frontend_bench () =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Daemon: the persistent Session that typequald serves — cold         *)
+(* analysis vs warm position queries vs single-unit edit + re-query on *)
+(* the CI smoke corpus; writes BENCH_daemon.json.                      *)
+(* TYPEQUAL_DAEMON_LINES overrides the line target.                    *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  (* nearest-rank on an ascending float array *)
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float n)) - 1))
+
+let percentiles samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  (percentile a 50., percentile a 90., percentile a 99.)
+
+let daemon_bench () =
+  Fmt.pr "@.=== Daemon: warm Session queries vs cold re-analysis ===@.";
+  let b = List.hd Cbench.Suite.scale_smoke in
+  let target =
+    match Sys.getenv_opt "TYPEQUAL_DAEMON_LINES" with
+    | Some v -> ( try int_of_string v with _ -> b.Cbench.Suite.b_lines)
+    | None -> b.Cbench.Suite.b_lines
+  in
+  let files =
+    Cbench.Gen.generate_project ~seed:b.Cbench.Suite.b_seed
+      ~target_lines:target ()
+  in
+  let lines = Cbench.Gen.project_lines files in
+  Fmt.pr "corpus %s: %d files, %d lines@.@." b.Cbench.Suite.b_name
+    (List.length files) lines;
+  let ok = ref true in
+  let check name cond detail =
+    Fmt.pr "  [%s] %s%s@." (if cond then "ok" else "FAIL") name detail;
+    if not cond then ok := false
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+
+  (* ---- cold: fresh session, full analysis (the daemon's startup) ---- *)
+  let cold_runs = 3 in
+  let cold_samples =
+    List.init cold_runs (fun _ ->
+        let t = Session.create files in
+        snd (time (fun () -> Session.run t)))
+  in
+  let cold_p50, cold_p90, cold_p99 = percentiles cold_samples in
+  Fmt.pr "cold analysis (%d runs): p50 %.3fs, p90 %.3fs, p99 %.3fs@."
+    cold_runs cold_p50 cold_p90 cold_p99;
+
+  (* ---- warm queries against a live session ---- *)
+  let t = Session.create files in
+  ignore (Session.run t);
+  let keys =
+    match Session.positions t with
+    | [] -> failwith "daemon bench: no positions"
+    | ps -> Array.of_list (List.map (fun (k, _, _) -> k) ps)
+  in
+  let nq = 200 in
+  let query_samples =
+    List.init nq (fun i ->
+        let k = keys.(i mod Array.length keys) in
+        let r, dt = time (fun () -> Session.classify t k) in
+        if r = None then failwith ("daemon bench: unknown key " ^ k);
+        dt)
+  in
+  let q_p50, q_p90, q_p99 = percentiles query_samples in
+  Fmt.pr "warm query (%d samples): p50 %.3fms, p90 %.3fms, p99 %.3fms@." nq
+    (q_p50 *. 1e3) (q_p90 *. 1e3) (q_p99 *. 1e3);
+
+  (* ---- single-unit edit + re-query ---- *)
+  (* alternate appending and restoring one unit's source so every step
+     is a real digest change; each sample is the daemon's full
+     edit-to-answer path: update, re-run, classify *)
+  let edit_name, edit_src =
+    match List.rev files with (n, s) :: _ -> (n, s) | [] -> assert false
+  in
+  let n_edits = 10 in
+  let edit_samples =
+    List.init n_edits (fun i ->
+        let src = if i mod 2 = 0 then edit_src ^ "\n" else edit_src in
+        snd
+          (time (fun () ->
+               (match Session.update_unit t edit_name src with
+               | `Updated -> ()
+               | `Added | `Unchanged ->
+                   failwith "daemon bench: edit did not dirty the unit");
+               ignore (Session.run t);
+               ignore (Session.classify t keys.(0)))))
+  in
+  let e_p50, e_p90, e_p99 = percentiles edit_samples in
+  let speedup = cold_p50 /. e_p50 in
+  Fmt.pr
+    "edit + re-query (%d samples): p50 %.3fs, p90 %.3fs, p99 %.3fs \
+     (%.1fx vs cold p50)@."
+    n_edits e_p50 e_p90 e_p99 speedup;
+  let st = Session.stats t in
+  Fmt.pr "scheme memo: %d hits, %d misses@." st.Session.ss_memo_hits
+    st.Session.ss_memo_misses;
+
+  (* the warm session after all those edits must still render exactly
+     what a cold analysis of the same sources renders *)
+  let warm_render = Session.render ~positions:true ~name:"daemon" t in
+  let cold_render =
+    Session.render ~positions:true ~name:"daemon" (Session.create files)
+  in
+
+  check "warm query p50 <= 10 ms" (q_p50 <= 0.010)
+    (Printf.sprintf " measured %.3fms" (q_p50 *. 1e3));
+  check "warm render byte-identical to cold" (warm_render = cold_render) "";
+  check "edits replay clean SCCs from the memo"
+    (st.Session.ss_memo_hits > 0)
+    (Printf.sprintf " (%d hits)" st.Session.ss_memo_hits);
+  (* Recorded, not enforced: the 10x edit-to-answer target. The scheme
+     memo removes re-INFERENCE of clean SCCs, but the monotone flat-arena
+     store cannot delete the edited unit's stale constraints, so every
+     warm run still re-CONSTRUCTS the store (replay + splice) — a linear
+     floor that caps the honest edit speedup well short of 10x on this
+     corpus. See ROADMAP "sublinear warm rebuild". *)
+  let meets_10x = speedup >= 10. in
+  Fmt.pr "  [%s] edit + re-query >= 10x faster than cold measured %.1fx%s@."
+    (if meets_10x then "ok" else "target unmet")
+    speedup
+    (if meets_10x then ""
+     else " (linear store-rebuild floor; recorded honestly, not enforced)");
+  Fmt.pr "%s@."
+    (if !ok then "ALL DAEMON CHECKS PASSED" else "DAEMON CHECKS FAILED");
+
+  (* ---- BENCH_daemon.json ---- *)
+  let jp3 (p50, p90, p99) =
+    [ ("p50_s", jf p50); ("p90_s", jf p90); ("p99_s", jf p99) ]
+  in
+  let buf = Buffer.create 4096 in
+  pp_json buf
+    (Jobj
+       [
+         ("paper", Jstr "A Theory of Type Qualifiers (PLDI 1999)");
+         ("env", jenv ());
+         ("corpus", Jstr b.Cbench.Suite.b_name);
+         ("files", ji (List.length files));
+         ("lines", ji lines);
+         ("mode", Jstr "poly");
+         ( "cold",
+           Jobj (("runs", ji cold_runs) :: jp3 (cold_p50, cold_p90, cold_p99))
+         );
+         ( "warm_query",
+           Jobj
+             [
+               ("samples", ji nq);
+               ("p50_ms", jf (q_p50 *. 1e3));
+               ("p90_ms", jf (q_p90 *. 1e3));
+               ("p99_ms", jf (q_p99 *. 1e3));
+             ] );
+         ( "edit_requery",
+           Jobj
+             (("samples", ji n_edits)
+             :: jp3 (e_p50, e_p90, e_p99)
+             @ [
+                 ("speedup_vs_cold_p50", jf speedup);
+                 ("meets_10x_target", jb meets_10x);
+                 ("memo_hits", ji st.Session.ss_memo_hits);
+                 ("memo_misses", ji st.Session.ss_memo_misses);
+               ]) );
+         ("warm_render_identical_to_cold", jb (warm_render = cold_render));
+         ("all_checks_passed", jb !ok);
+       ]);
+  let oc = open_out "BENCH_daemon.json" in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_daemon.json@.";
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1967,4 +2185,5 @@ let () =
      million lines *)
   if List.mem "scale" args || List.mem "all" args then scale ();
   if List.mem "frontend" args || List.mem "all" args then frontend_bench ();
+  if List.mem "daemon" args || List.mem "all" args then daemon_bench ();
   write_json ()

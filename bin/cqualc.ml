@@ -21,11 +21,6 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let pp_mode ppf = function
-  | Analysis.Mono -> Fmt.string ppf "monomorphic"
-  | Analysis.Poly -> Fmt.string ppf "polymorphic"
-  | Analysis.Polyrec -> Fmt.string ppf "polymorphic-recursive"
-
 (* --budget spec: "vars=N,pops=N,ms=N" (any subset) or a bare integer,
    which bounds worklist pops. A fresh Budget.t is built per analysis run
    (trips latch, so a budget cannot be shared between the mono and poly
@@ -91,78 +86,27 @@ type input =
 
 let source_of_input = function
   | Single (_, src) -> src
-  | Project files -> Driver.concat_sources files
+  | Project files -> Session.concat_sources files
 
+(* a thin Session client: the batch entry points feed the run to the
+   session's renderer, which produces the whole stdout block *)
 let run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors ~compact
     ~cache ~frontend ~print_diags mode name input =
   let budget = budget_of_spec budget in
   let r =
     match input with
     | Single (unit, src) ->
-        Driver.run_source ~mode ~rules ?budget ~compact ~jobs ~max_errors
+        Session.run_source ~mode ~rules ?budget ~compact ~jobs ~max_errors
           ?cache ~unit src
     | Project files ->
-        Driver.run_sources ~frontend ~mode ~rules ?budget ~compact ~jobs
+        Session.run_sources ~frontend ~mode ~rules ?budget ~compact ~jobs
           ~max_errors ?cache files
   in
-  let res = r.Driver.results in
   (* diagnostics are a property of the source, not the mode: print them
      once even when both modes run *)
   if print_diags then
-    List.iter (fun d -> Fmt.epr "%a@." Cfront.Diag.pp d) r.Driver.diagnostics;
-  Fmt.pr "=== %s (%a) ===@." name pp_mode mode;
-  let degraded =
-    List.filter_map
-      (fun (f, o) ->
-        match o with
-        | Analysis.Degraded reason -> Some (f, reason)
-        | Analysis.Analyzed -> None)
-      res.Report.outcomes
-  in
-  let n_analyzed = List.length res.Report.outcomes - List.length degraded in
-  Fmt.pr
-    "lines: %d, functions: %d (%d analyzed, %d degraded), qualifier \
-     variables: %d@."
-    r.Driver.lines
-    (List.length res.Report.outcomes)
-    n_analyzed (List.length degraded) r.Driver.n_constraints;
-  List.iter (fun (f, reason) -> Fmt.pr "degraded: %s: %s@." f reason) degraded;
-  if stats then begin
-    Fmt.pr "solver: %a@." Typequal.Solver.pp_stats r.Driver.solver_stats;
-    Fmt.pr "fdg: %d sccs, largest %d, wavefront width %d@."
-      r.Driver.fdg_scc_count r.Driver.fdg_largest_scc r.Driver.wavefront_width;
-    (match r.Driver.frontend with
-    | Some fs ->
-        Fmt.pr
-          "frontend: %d units, %d reparsed, lex %.3fs, parse %.3fs, build \
-           %.3fs, link %.3fs@."
-          fs.Driver.fs_units fs.Driver.fs_reparsed fs.Driver.fs_lex_s
-          fs.Driver.fs_parse_s fs.Driver.fs_build_s fs.Driver.fs_link_s
-    | None -> ());
-    (match Driver.oversubscription ~jobs with
-    | Some cores ->
-        Fmt.pr "oversubscribed: %d jobs on %d available cores@." jobs cores
-    | None -> ());
-    match r.Driver.par with
-    | Some p ->
-        Fmt.pr "parallel: %d jobs, %d tasks, generate %.3fs, merge %.3fs@."
-          p.Analysis.ps_jobs p.Analysis.ps_tasks p.Analysis.ps_gen_s
-          p.Analysis.ps_merge_s
-    | None -> ()
-  end;
-  Fmt.pr
-    "interesting const positions: %d total; %d declared, %d possible (%d \
-     must-const, %d could-be-either), %d must-not@."
-    res.Report.total res.Report.declared res.Report.possible res.Report.must
-    (res.Report.possible - res.Report.must)
-    (res.Report.total - res.Report.possible);
-  if res.Report.type_errors > 0 then
-    Fmt.pr "TYPE ERRORS: %d (const usage is inconsistent)@."
-      res.Report.type_errors;
-  List.iter (fun w -> Fmt.pr "warning: %s@." w) res.Report.warnings;
-  if positions then
-    List.iter (fun pv -> Fmt.pr "  %a@." Report.pp_position pv)
-      res.Report.positions;
+    List.iter (fun d -> Fmt.epr "%a@." Cfront.Diag.pp d) r.Session.diagnostics;
+  Fmt.pr "%s" (Session.render_run ~stats ~positions ~jobs ~name mode r);
   r
 
 let run_flow name src insensitive =
@@ -226,12 +170,10 @@ let main files bench mode positions taint flow insensitive stats budget jobs
   | Error m ->
       Fmt.epr "error: %s@." m;
       exit 2);
-  (match Driver.oversubscription ~jobs with
-  | Some cores ->
-      Fmt.epr
-        "warning: --jobs %d exceeds the %d available cores; domains will \
-         contend rather than parallelize@."
-        jobs cores
+  (* the advisory is a structured Notice diagnostic (code N0901); the CLI
+     renders just its message under the historical "warning: " prefix *)
+  (match Session.oversubscription_notice ~jobs with
+  | Some d -> Fmt.epr "warning: %s@." d.Cfront.Diag.d_message
   | None -> ());
   let rules =
     match lattice with
@@ -303,7 +245,7 @@ let main files bench mode positions taint flow insensitive stats budget jobs
                 (match qual with Some q -> q | None -> "-");
               ]
           in
-          Driver.open_cache
+          Session.open_cache
             ~warn:(fun m -> Fmt.epr "warning: %s@." m)
             ~rules ~opts_id dir
     in
@@ -311,7 +253,7 @@ let main files bench mode positions taint flow insensitive stats budget jobs
       run_one ~rules ~positions ~stats ~budget ~jobs ~max_errors
         ~compact:(not no_compact) ~cache
         ~frontend:
-          (if concat_frontend then Driver.Concat else Driver.Per_unit)
+          (if concat_frontend then Session.Concat else Session.Per_unit)
     in
     match
       let runs =
@@ -325,16 +267,16 @@ let main files bench mode positions taint flow insensitive stats budget jobs
       (match cache with
       | Some cs when stats ->
           Fmt.pr "cache: %a@." Typequal.Cache.pp_stats
-            (Typequal.Cache.stats cs.Driver.cs_cache)
+            (Typequal.Cache.stats cs.Session.cs_cache)
       | _ -> ());
       let type_errors =
         List.fold_left
-          (fun n r -> n + r.Driver.results.Report.type_errors)
+          (fun n r -> n + r.Session.results.Report.type_errors)
           0 runs
       in
       let bad_source =
         List.exists
-          (fun r -> List.exists Cfront.Diag.is_error r.Driver.diagnostics)
+          (fun r -> List.exists Cfront.Diag.is_error r.Session.diagnostics)
           runs
       in
       (type_errors, bad_source)
@@ -342,7 +284,7 @@ let main files bench mode positions taint flow insensitive stats budget jobs
     | _, true -> 2 (* the source did not fully parse *)
     | 0, false -> 0
     | _, false -> 1
-    | exception Driver.Error m ->
+    | exception Session.Error m ->
         Fmt.epr "error: %s@." m;
         2
 
@@ -548,7 +490,7 @@ let () =
        | (124 | 125) -> 2
        | code -> code
      with
-    | Driver.Error m | Cfront.Cprog.Frontend_error m ->
+    | Session.Error m | Cfront.Cprog.Frontend_error m ->
         Fmt.epr "error: %s@." m;
         2
     | Failure m ->

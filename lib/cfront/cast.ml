@@ -101,6 +101,15 @@ type fundef = {
   f_body : stmt list;
   f_static : bool;
   f_line : int;
+  f_name_loc : int * int;
+      (** (line, column) of the defining occurrence of [f_name]; column 0
+          when only line precision is available (cf. {!Diag.span}) *)
+  f_param_locs : (int * int) list;
+      (** (line, column) of each parameter's name, aligned with
+          [f_params]; (0, 0) for unnamed or unlocatable parameters.
+          These anchor the report's stable position keys
+          ([file:line:col]), so a position survives marshaling without
+          its solver-variable back-pointer. *)
 }
 
 type global =

@@ -32,6 +32,13 @@ type st = {
          typedef exports, replayed into the link environment *)
   mutable new_enums : (string * int) list;
       (* enum constants registered while parsing, newest first *)
+  mutable last_params : (string * Diag.span) list;
+      (* name spans of the parameter list parsed most recently — set by
+         [parse_params] on completion, so after a declarator like
+         [int foo(int a, char *b)] it holds a's and b's name spans. Inner
+         (function-pointer) parameter lists finish before the enclosing
+         one, which overwrites them; [parse_global] re-aligns by name and
+         falls back to (0,0) on any mismatch. *)
 }
 
 (* A unit parse may be seeded with the accumulated environment of the
@@ -58,6 +65,7 @@ let make_state_tb ?(recover = false) ?(typedefs = []) ?(enums = [])
     degraded = [];
     new_typedefs = [];
     new_enums = [];
+    last_params = [];
   }
 
 let make_state ?(recover = false) toks =
@@ -344,10 +352,12 @@ and starts_spec_continuation st =
 (* Declarators                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* A parsed declarator: optional name plus a function that wraps the base
-   type into the declared type (the standard inside-out construction). *)
+(* A parsed declarator: optional name (with the span of its defining
+   token, anchoring the report's position keys) plus a function that
+   wraps the base type into the declared type (the standard inside-out
+   construction). *)
 and parse_declarator st (hoist : global list ref) :
-    string option * (ctype -> ctype) =
+    (string * Diag.span) option * (ctype -> ctype) =
   (* pointer prefix: each star may carry its own qualifiers *)
   let rec ptrs acc =
     match peek st with
@@ -379,8 +389,9 @@ and parse_declarator st (hoist : global list ref) :
   let name, wrap_direct =
     match peek st with
     | Ctoken.IDENT x ->
+        let sp = span st in
         ignore (next st);
-        (Some x, fun t -> t)
+        (Some (x, sp), fun t -> t)
     | LPAREN when is_nested_declarator st ->
         ignore (next st);
         let n, w = parse_declarator st hoist in
@@ -458,30 +469,40 @@ and is_nested_declarator st =
   | _ -> false
 
 and parse_params st hoist : (string * ctype) list * bool =
+  let finish acc varargs =
+    let params = List.rev acc in
+    st.last_params <-
+      List.filter_map
+        (fun (name, _, sp) -> Option.map (fun sp -> (name, sp)) sp)
+        params;
+    (List.map (fun (name, t, _) -> (name, t)) params, varargs)
+  in
   match peek st with
-  | Ctoken.RPAREN -> ([], false)
+  | Ctoken.RPAREN -> finish [] false
   | KW_VOID when peek2 st = RPAREN ->
       ignore (next st);
-      ([], false)
+      finish [] false
   | _ ->
       let rec go acc =
         match peek st with
         | Ctoken.ELLIPSIS ->
             ignore (next st);
-            (List.rev acc, true)
+            finish acc true
         | _ ->
             let specs = parse_decl_specs st hoist in
             let name, wrap = parse_declarator st hoist in
             let t = wrap specs.base in
-            let name =
-              match name with Some n -> n | None -> Printf.sprintf "$p%d" (List.length acc)
+            let name, sp =
+              match name with
+              | Some (n, sp) -> (n, Some sp)
+              | None -> (Printf.sprintf "$p%d" (List.length acc), None)
             in
-            let acc = (name, t) :: acc in
+            let acc = (name, t, sp) :: acc in
             if peek st = COMMA then begin
               ignore (next st);
               go acc
             end
-            else (List.rev acc, false)
+            else finish acc false
       in
       go []
 
@@ -506,7 +527,7 @@ and parse_fields st hoist : (string * ctype) list =
         | _ -> false
       in
       (match name with
-      | Some n -> fields := (n, wrap specs.base) :: !fields
+      | Some (n, _) -> fields := (n, wrap specs.base) :: !fields
       | None ->
           (* only anonymous bitfields may omit the field name *)
           if not bitfield then err st "struct field without a name");
@@ -902,7 +923,9 @@ and parse_local_decl st hoist : decl list =
       let name, wrap = parse_declarator st hoist in
       let t = wrap specs.base in
       let name =
-        match name with Some n -> n | None -> err st "declaration without name"
+        match name with
+        | Some (n, _) -> n
+        | None -> err st "declaration without name"
       in
       let init =
         if peek st = ASSIGN then begin
@@ -955,10 +978,23 @@ let parse_global st (hoist : global list ref) : global list =
     let name, wrap = parse_declarator st hoist in
     let t = wrap specs.base in
     match (name, peek st) with
-    | Some fname, Ctoken.LBRACE -> (
+    | Some (fname, fsp), Ctoken.LBRACE -> (
         (* function definition *)
         match t with
         | TFun (ret, params, varargs) -> (
+            (* anchor each parameter at its name token. [last_params]
+               holds the most recently completed parameter list, which
+               for an exotic declarator (a function returning a function
+               pointer) may be an inner one — re-align by name and drop
+               to (0,0) on any mismatch, so keys are never mislocated *)
+            let param_locs =
+              List.map
+                (fun (pname, _) ->
+                  match List.assoc_opt pname st.last_params with
+                  | Some (sp : Diag.span) -> (sp.Diag.sl, sp.Diag.sc)
+                  | None -> (0, 0))
+                params
+            in
             let mk body =
               [
                 GFun
@@ -970,6 +1006,8 @@ let parse_global st (hoist : global list ref) : global list =
                     f_body = body;
                     f_static = specs.s_static;
                     f_line = ln;
+                    f_name_loc = (fsp.Diag.sl, fsp.Diag.sc);
+                    f_param_locs = param_locs;
                   };
               ]
             in
@@ -990,7 +1028,7 @@ let parse_global st (hoist : global list ref) : global list =
                   skip_balanced_braces st;
                   [ GProto (fname, t, ln) ])
         | _ -> err st "function body after non-function declarator")
-    | Some n, _ ->
+    | Some (n, _), _ ->
         let rec go acc name t =
           let init =
             if peek st = ASSIGN then begin
@@ -1016,7 +1054,7 @@ let parse_global st (hoist : global list ref) : global list =
               let name2, wrap2 = parse_declarator st hoist in
               let name2 =
                 match name2 with
-                | Some n -> n
+                | Some (n, _) -> n
                 | None -> err st "declarator without name"
               in
               go acc name2 (wrap2 specs.base)

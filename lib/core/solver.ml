@@ -975,6 +975,12 @@ let explain t v =
         Fmt.(option (any " (" ++ string ++ any ")"))
         bound_reason origin
 
+(* Public query surface for store-resident clients (the analysis daemon):
+   explain one variable on demand instead of scanning [last_errors]. *)
+let explain_var t v =
+  let vi = find_id t v.id in
+  if Elt.leq t.sp t.lo.(vi) t.hi_bound.(vi) then None else Some (explain t v)
+
 let last_errors t =
   let var_errs = Hashtbl.fold (fun _ e acc -> e :: acc) t.errors [] in
   let var_errs =

@@ -127,6 +127,15 @@ val last_errors : t -> error list
     is solved). Lets callers of {!least}/{!greatest}/{!classify} tell
     whether the values they read come from an unsatisfiable system. *)
 
+val explain_var : t -> var -> string option
+(** after a {!solve}: why this variable's least solution violates its
+    upper bound — the same bound-violation walk (offending coordinate,
+    then backwards to the constant bound that forced it) that builds
+    {!last_errors} messages, run on demand for one variable. [None] when
+    the variable is within bounds. The query surface the store-resident
+    daemon serves "explain this violation path" from, without rescanning
+    the whole error set. *)
+
 val least : t -> var -> Elt.t
 val greatest : t -> var -> Elt.t
 

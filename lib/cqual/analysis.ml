@@ -1963,13 +1963,47 @@ let iface_digest (pt : ptask) : Digest.t =
       List.iter atom atoms);
   Digest.string (Buffer.contents b)
 
-(** Everything {!run_sccs_par} needs to cache per-SCC results: an open
-    cache, the fingerprint of the cross-unit context (declarations,
-    options, rule set — everything that affects inference besides the
-    member bodies), and the per-unit content digest of the file defining
-    each function ([None] makes that function's SCC uncacheable). *)
+(** In-memory SCC-task memo: the decoded, dependency-stamped {!ptask}s of
+    a live session, keyed like the disk tier but skipping Marshal, MD5,
+    and file I/O entirely. This is what makes a warm {!Session} edit
+    cheap: after [update_unit], every clean SCC replays its decoded task
+    (and reuses its precomputed interface digest) instead of re-reading
+    and re-verifying an envelope. Entries are validated against the same
+    dependency-digest chain as the envelopes, so a memo hit is exactly as
+    trustworthy as a disk hit — and byte-identical to a cold run, since
+    both paths converge on {!replay_task}. Domain-safe: the table is
+    mutex-guarded (tasks on the pool probe it concurrently). *)
+type scc_memo = {
+  sm_m : Mutex.t;
+  sm_tbl : (Digest.t, memo_entry) Hashtbl.t;
+  mutable sm_hits : int;
+  mutable sm_misses : int;
+}
+
+and memo_entry = {
+  me_deps : Digest.t list;  (* dependency interface digests at store time *)
+  me_pt : ptask;
+  me_ifd : Digest.t;  (* iface_digest me_pt, computed once *)
+}
+
+let create_memo () =
+  { sm_m = Mutex.create (); sm_tbl = Hashtbl.create 256; sm_hits = 0; sm_misses = 0 }
+
+let memo_counts sm =
+  Mutex.lock sm.sm_m;
+  let r = (sm.sm_hits, sm.sm_misses) in
+  Mutex.unlock sm.sm_m;
+  r
+
+(** Everything {!run_sccs_par} needs to cache per-SCC results: the cache
+    tiers (persistent directory and/or in-session memo), the fingerprint
+    of the cross-unit context (declarations, options, rule set —
+    everything that affects inference besides the member bodies), and the
+    per-unit content digest of the file defining each function ([None]
+    makes that function's SCC uncacheable). *)
 type cache_ctx = {
-  cc_cache : Cache.t;
+  cc_cache : Cache.t option;  (** the persistent tier; [None] = memo only *)
+  cc_memo : scc_memo option;  (** the in-session decoded tier *)
   cc_key_prefix : string;
   cc_unit_of : string -> string option;
 }
@@ -2049,31 +2083,78 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
         in
         let key = key_of i in
         let deps () = List.map (fun j -> ifd.(j)) deps_of.(i) in
-        (* warm path: verified envelope -> decode -> replay; any failure
-           past verification rejects the entry and falls through cold *)
-        let cached =
+        (* warm paths, fastest first. Memo: a decoded task from this
+           session whose dependency digests still match — replay with no
+           I/O, no unmarshal, no re-digesting. Disk: verified envelope ->
+           decode -> replay; any failure past verification rejects the
+           entry and falls through cold. *)
+        let memo_hit =
           match (cache, rg, key) with
-          | Some cc, Some rg, Some key -> (
-              match
-                Cache.load cc.cc_cache ~kind:scc_kind ~key ~deps:(deps ())
-              with
-              | None -> None
-              | Some payload -> (
-                  match
-                    let pt = (Marshal.from_string payload 0 : ptask) in
-                    let r = replay_task genv pub rg prog pt in
-                    (r, pt)
-                  with
-                  | r_pt -> Some r_pt
+          | Some { cc_memo = Some sm; _ }, Some rg, Some key -> (
+              Mutex.lock sm.sm_m;
+              let e = Hashtbl.find_opt sm.sm_tbl key in
+              Mutex.unlock sm.sm_m;
+              match e with
+              | Some e when e.me_deps = deps () -> (
+                  match replay_task genv pub rg prog e.me_pt with
+                  | r ->
+                      Mutex.lock sm.sm_m;
+                      sm.sm_hits <- sm.sm_hits + 1;
+                      Mutex.unlock sm.sm_m;
+                      Some (r, e)
                   | exception ((Out_of_memory | Sys.Break) as e) -> raise e
                   | exception _ ->
-                      Cache.reject_undecodable cc.cc_cache ~kind:scc_kind ~key;
-                      None))
+                      (* a task that replayed from disk must replay from
+                         memory; drop the entry and fall through *)
+                      Mutex.lock sm.sm_m;
+                      Hashtbl.remove sm.sm_tbl key;
+                      Mutex.unlock sm.sm_m;
+                      None)
+              | _ ->
+                  Mutex.lock sm.sm_m;
+                  sm.sm_misses <- sm.sm_misses + 1;
+                  Mutex.unlock sm.sm_m;
+                  None)
           | _ -> None
         in
-        let r, pt_hit =
+        let cached =
+          match memo_hit with
+          | Some (r, e) -> Some (r, e.me_pt, Some e.me_ifd)
+          | None -> (
+              match (cache, rg, key) with
+              | Some ({ cc_cache = Some disk; _ } as _cc), Some rg, Some key
+                -> (
+                  match
+                    Cache.load disk ~kind:scc_kind ~key ~deps:(deps ())
+                  with
+                  | None -> None
+                  | Some payload -> (
+                      match
+                        let pt = (Marshal.from_string payload 0 : ptask) in
+                        let r = replay_task genv pub rg prog pt in
+                        (r, pt)
+                      with
+                      | r, pt -> Some (r, pt, None)
+                      | exception ((Out_of_memory | Sys.Break) as e) ->
+                          raise e
+                      | exception _ ->
+                          Cache.reject_undecodable disk ~kind:scc_kind ~key;
+                          None))
+              | _ -> None)
+        in
+        (* remember a decoded task (with its digest chain) in the memo *)
+        let memo_put key pt ifd =
+          match cache with
+          | Some { cc_memo = Some sm; _ } ->
+              Mutex.lock sm.sm_m;
+              Hashtbl.replace sm.sm_tbl key
+                { me_deps = deps (); me_pt = pt; me_ifd = ifd };
+              Mutex.unlock sm.sm_m
+          | _ -> ()
+        in
+        let r, pt_hit, ifd_hit =
           match cached with
-          | Some (r, pt) -> (r, Some pt)
+          | Some (r, pt, ifd) -> (r, Some pt, ifd)
           | None ->
               let wenv = worker_env genv pub in
               let degrade_scc reason =
@@ -2103,7 +2184,7 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
                         task_result wenv ~ifaces:scc_ifaces
                           ~scheme:(Some sch))
               in
-              (r, None)
+              (r, None, None)
         in
         (* interface digest (and store, after a cold inference) before the
            dependents go: they chain against it. Uncacheable results still
@@ -2112,18 +2193,28 @@ let run_sccs_par ~jobs ?rules ?field_sharing ?compact ?budget ?cache mode
         (match (cache, rg) with
         | Some cc, Some rg ->
             ifd.(i) <-
-              (match pt_hit with
-              | Some pt -> iface_digest pt
-              | None -> (
+              (match (ifd_hit, pt_hit) with
+              | Some d, _ ->
+                  (* memo hit: digest precomputed at store time *)
+                  d
+              | None, Some pt ->
+                  (* disk hit: digest once, and promote to the memo so
+                     the next warm run skips the envelope entirely *)
+                  let d = iface_digest pt in
+                  (match key with Some key -> memo_put key pt d | None -> ());
+                  d
+              | None, None -> (
                   match encode_task rg r with
                   | pt ->
-                      (match key with
-                      | Some key ->
-                          Cache.store cc.cc_cache ~kind:scc_kind ~key
+                      (match (key, cc.cc_cache) with
+                      | Some key, Some disk ->
+                          Cache.store disk ~kind:scc_kind ~key
                             ~deps:(deps ())
                             (Marshal.to_string pt [])
-                      | None -> ());
-                      iface_digest pt
+                      | _ -> ());
+                      let d = iface_digest pt in
+                      (match key with Some key -> memo_put key pt d | None -> ());
+                      d
                   | exception Unencodable ->
                       (* no interface bytes to digest, so chain
                          dependents to the member units instead: editing

@@ -1,223 +1,60 @@
-(** End-to-end const inference: parse, analyze (mono and/or poly), measure.
-    This is the pipeline Table 2 and Figure 6 are produced from.
+(** The batch driver, now a thin client of {!Session}: every type and
+    entry point below is re-exported from the session layer, where the
+    pipeline stages actually live. Existing callers (the CLIs, the
+    bench harness, the tests) keep compiling unchanged; new code should
+    use {!Session} directly — a persistent {!Session.t} additionally
+    offers warm re-analysis and position-level queries. *)
 
-    Multi-file projects run through the {e per-unit frontend} by default:
-    each translation unit is lexed and parsed independently (in parallel
-    under [--jobs]), then a deterministic serial link step merges the
-    unit programs and threads the cross-unit parser environment. The
-    pre-PR-9 "concatenate, then parse once" pipeline is kept behind
-    {!Concat} as the parity oracle — both frontends produce
-    byte-identical reports, diagnostics, and solver counters. See
-    DESIGN.md "Per-unit frontend". *)
+type timing = Session.timing = { t_compile : float; t_analysis : float }
 
-type timing = {
-  t_compile : float;  (** parse + table construction, seconds *)
-  t_analysis : float;  (** constraint generation + solving *)
-}
+type frontend = Session.frontend = Per_unit | Concat
 
-(** Which frontend assembles the whole program from translation units. *)
-type frontend =
-  | Per_unit  (** per-unit parse + link (default) *)
-  | Concat  (** legacy megastring concatenation: the parity oracle *)
-
-(** Frontend phase breakdown. Under [--jobs] > 1 the lex/parse/build
-    times are summed across worker domains (like the solver's per-phase
-    timers), so they can exceed the compile wall clock. *)
-type frontend_stats = {
+type frontend_stats = Session.frontend_stats = {
   fs_units : int;
   fs_reparsed : int;
-      (** units whose speculative parse was discarded and redone with
-          the linked environment (typedef/enum-name overlap, anonymous
-          tag numbering, or a diagnostic budget spill) *)
   fs_lex_s : float;
   fs_parse_s : float;
   fs_build_s : float;
   fs_link_s : float;
 }
 
-type run = {
+type run = Session.run = {
   results : Report.results;
   timing : timing;
   lines : int;
   n_functions : int;
-  n_constraints : int;  (** number of qualifier variables, a proxy for size *)
+  n_constraints : int;
   solver_stats : Typequal.Solver.stats;
-      (** constraint-store counters (unifications, dedup, cycle collapses,
-          worklist pops) accumulated over the whole run *)
   diagnostics : Cfront.Diag.t list;
-      (** lexer/parser diagnostics recovered from, in source order; empty
-          for a clean parse. Multi-unit runs carry unit-local positions
-          ([Diag.d_unit] names the file). *)
-  fdg_scc_count : int;  (** SCCs in the function dependence graph *)
-  fdg_largest_scc : int;  (** size of the largest (mutual-recursion) SCC *)
+  fdg_scc_count : int;
+  fdg_largest_scc : int;
   wavefront_width : int;
-      (** maximum SCCs simultaneously ready under wavefront scheduling: an
-          upper bound on useful analysis parallelism *)
   par : Analysis.par_stats option;
-      (** parallel-engine phase breakdown; [None] for serial runs *)
   frontend : frontend_stats option;
-      (** per-unit frontend phase breakdown; [None] for the concat
-          oracle, single-source runs, and whole-run cache hits *)
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+exception Error = Session.Error
 
-exception Error of string
-
-let compile src =
-  match Cfront.Cparse.parse_program_result src with
-  | Error m -> raise (Error m)
-  | Ok p -> Cfront.Cprog.build p
-
-(** [Some cores] when [jobs] asks for more worker domains than the host
-    can schedule — the caller should warn: oversubscribed domains contend
-    instead of parallelizing (BENCH_hotpath.json measured jobs-4 on one
-    core at ~7x slower than serial). *)
-let oversubscription ~jobs =
-  let cores = Typequal.Pool.cores_available () in
-  if jobs > cores then Some cores else None
-
-(* ------------------------------------------------------------------ *)
-(* Persistent cache (three tiers; see DESIGN.md)                       *)
-(* ------------------------------------------------------------------ *)
+let compile = Session.compile
+let oversubscription = Session.oversubscription
+let oversubscription_notice = Session.oversubscription_notice
 
 module Cache = Typequal.Cache
 
-(** an open cache plus the caller's identity string for everything the
-    fingerprints below cannot see — the rule set beyond its qualifier
-    space (e.g. which CLI analysis flavour and lattice file built it) *)
-type cache_spec = { cs_cache : Cache.t; cs_opts_id : string }
-
-(* The context digest stamped into every envelope: qualifier-space dump
-   (the full lattice structure), compiler version (Marshal payloads are
-   not portable across it), and a payload-format revision to bump whenever
-   any marshaled type in this file or the analysis changes shape. *)
-let space_fingerprint (sp : Typequal.Lattice.Space.t) : Digest.t =
-  Digest.string
-    (Fmt.str "%a|%s|payload-fmt-2" Typequal.Lattice.Space.pp_dump sp
-       Sys.ocaml_version)
-
-(** Open a cache directory for runs under this rule set (default: const
-    inference). Returns [None] — after [warn] — when the path is unusable;
-    run without a cache then. Never raises. *)
-let open_cache ?warn ?(rules = Analysis.const_rules) ~opts_id dir :
-    cache_spec option =
-  match
-    Cache.open_dir ?warn ~ctx:(space_fingerprint rules.Analysis.qr_space) dir
-  with
-  | Some c -> Some { cs_cache = c; cs_opts_id = opts_id }
-  | None -> None
-
-(* Unit identity: the per-file content hash that keys invalidation. The
-   name participates, so renaming a file on disk invalidates exactly the
-   units (and run) that file contributes to. *)
-let unit_digest name content = Digest.string (name ^ "\000" ^ content)
-
-(* a unit's span in the concatenated program: first line, last line, unit
-   name, content digest *)
-type span = int * int * string * string
-
-let mode_name = function
-  | Analysis.Mono -> "mono"
-  | Analysis.Poly -> "poly"
-  | Analysis.Polyrec -> "polyrec"
-
-(* Everything that parameterizes inference besides the program text and
-   the qualifier space (already in the envelope context). [jobs] is
-   deliberately absent: results are jobs-invariant. So is the frontend:
-   per-unit and concat runs are byte-identical, hence cache-compatible. *)
-let opt_fingerprint ~(cs : cache_spec) ~mode ~field_sharing ~simplify
-    ~compact ~max_errors : string =
-  let ob = function Some b -> string_of_bool b | None -> "-" in
-  Digest.string
-    (String.concat "|"
-       [
-         cs.cs_opts_id;
-         mode_name mode;
-         ob field_sharing;
-         ob simplify;
-         ob compact;
-         (match max_errors with Some n -> string_of_int n | None -> "-");
-       ])
-
-(* The cross-unit declaration context a function's analysis depends on
-   beyond its own unit: globals, prototypes, typedefs, struct/union
-   layouts, enums — everything of the program except function bodies
-   (covered per-unit) and the FDG dependency set (covered by the
-   envelopes' dependency digests). Line numbers and initializers are
-   excluded, so touching one unit does not invalidate the others — and
-   the digest is frontend-invariant (unit-local vs concatenated line
-   numbers never enter it). *)
-let env_fingerprint (prog : Cfront.Cprog.t) : string =
-  let b = Buffer.create 4096 in
-  let put x = Buffer.add_string b (Marshal.to_string x []) in
-  List.iter
-    (fun (g : Cfront.Cast.global) ->
-      match g with
-      | Cfront.Cast.GFun _ -> ()
-      | Cfront.Cast.GVar d ->
-          put ("v", d.Cfront.Cast.d_name, d.Cfront.Cast.d_type)
-      | Cfront.Cast.GProto (n, t, _) -> put ("p", n, t)
-      | Cfront.Cast.GTypedef (n, t, _) -> put ("t", n, t)
-      | Cfront.Cast.GComp (tag, u, fields, _) -> put ("c", (tag, u, fields))
-      | Cfront.Cast.GEnum (tag, items, _) -> put ("e", (tag, items)))
-    prog.Cfront.Cprog.order;
-  Digest.string (Buffer.contents b)
-
-(* the run record's cacheable core: no wall-clock, no parallel-phase
-   breakdown, solver counters sanitized of nondeterministic fields *)
-type cached_run = {
-  cr_results : Report.results;
-  cr_lines : int;
-  cr_n_functions : int;
-  cr_n_constraints : int;
-  cr_stats : Typequal.Solver.stats;
-  cr_diags : Cfront.Diag.t list;
-  cr_scc_count : int;
-  cr_largest_scc : int;
-  cr_wavefront : int;
+type cache_spec = Session.cache_spec = {
+  cs_cache : Cache.t;
+  cs_opts_id : string;
 }
 
-(* load kind/key and unmarshal as ['a]; any decode failure rejects the
-   entry (the envelope verified, so the payload was well-formed bytes that
-   mean nothing to us — e.g. written by a differently-shaped build) *)
-let load_marshal (type a) (c : Cache.t) ~kind ~key ~deps : a option =
-  match Cache.load c ~kind ~key ~deps with
-  | None -> None
-  | Some payload -> (
-      match (Marshal.from_string payload 0 : a) with
-      | v -> Some v
-      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
-      | exception _ ->
-          Cache.reject_undecodable c ~kind ~key;
-          None)
+type span = Session.span
 
-let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
-    mode prog =
-  let (env, ifaces), t =
-    time (fun () ->
-        Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?cache
-          ?jobs mode prog)
-  in
-  let st = env.Analysis.store in
-  let solve0 = (Typequal.Solver.stats st).solve_s in
-  let results, t2 = time (fun () -> Report.measure env ifaces) in
-  (* the report's own cost, minus the final solve it triggers (that time
-     is already accounted to solve_s) *)
-  let solve_d = (Typequal.Solver.stats st).solve_s -. solve0 in
-  Typequal.Solver.note_phase st Typequal.Solver.Report
-    (Float.max 0. (t2 -. solve_d));
-  (env, results, t +. t2)
+let space_fingerprint = Session.space_fingerprint
+let open_cache = Session.open_cache
+let unit_digest = Session.unit_digest
+let mode_name = Session.mode_name
+let analyze = Session.analyze
 
-(* ------------------------------------------------------------------ *)
-(* Shared back half of both frontends                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* the frontend's product, whichever frontend built it *)
-type compiled = {
+type compiled = Session.compiled = {
   co_prog : Cfront.Cprog.t;
   co_diags : Cfront.Diag.t list;
   co_degraded : (string * string) list;
@@ -226,667 +63,16 @@ type compiled = {
   co_frontend : frontend_stats option;
 }
 
-let finish ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
-    mode (co : compiled) : run =
-  let env, results, t_analysis =
-    analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
-      mode co.co_prog
-  in
-  let fdg = Fdg.build co.co_prog in
-  let results =
-    {
-      results with
-      (* tail-recursive construction: a pathological input can demote
-         thousands of functions, and outcome lists are program-sized *)
-      Report.outcomes =
-        List.rev_append
-          (List.rev results.Report.outcomes)
-          (List.rev
-             (List.rev_map
-                (fun (name, reason) -> (name, Analysis.Degraded reason))
-                co.co_degraded));
-    }
-  in
-  {
-    results;
-    timing = { t_compile = co.co_t_compile; t_analysis };
-    lines = co.co_lines;
-    n_functions = List.length (Cfront.Cprog.functions co.co_prog);
-    n_constraints = Typequal.Solver.num_vars env.Analysis.store;
-    solver_stats = Analysis.stats env;
-    diagnostics = co.co_diags;
-    fdg_scc_count = Fdg.scc_count fdg;
-    fdg_largest_scc = Fdg.largest_scc fdg;
-    wavefront_width = Fdg.wavefront_width fdg;
-    par = env.Analysis.par;
-    frontend = co.co_frontend;
-  }
+let finish = Session.finish
+let run_concat = Session.run_concat
+let run_units = Session.run_units
+let run_source = Session.run_source
+let concat_sources_spans = Session.concat_sources_spans
+let concat_sources = Session.concat_sources
+let run_sources = Session.run_sources
+let compile_sources = Session.compile_sources
 
-let run_of_cached (cr : cached_run) ~t_lookup : run =
-  {
-    results = cr.cr_results;
-    timing = { t_compile = 0.; t_analysis = t_lookup };
-    lines = cr.cr_lines;
-    n_functions = cr.cr_n_functions;
-    n_constraints = cr.cr_n_constraints;
-    solver_stats = cr.cr_stats;
-    diagnostics = cr.cr_diags;
-    fdg_scc_count = cr.cr_scc_count;
-    fdg_largest_scc = cr.cr_largest_scc;
-    wavefront_width = cr.cr_wavefront;
-    par = None;
-    frontend = None;
-  }
-
-let cached_of_run (r : run) : cached_run =
-  {
-    cr_results = r.results;
-    cr_lines = r.lines;
-    cr_n_functions = r.n_functions;
-    cr_n_constraints = r.n_constraints;
-    cr_stats = Analysis.sanitize_stats r.solver_stats;
-    cr_diags = r.diagnostics;
-    cr_scc_count = r.fdg_scc_count;
-    cr_largest_scc = r.fdg_largest_scc;
-    cr_wavefront = r.wavefront_width;
-  }
-
-(* the whole-run cache key over the units' content digests: shared by
-   both frontends, whose runs are byte-identical *)
-let run_key ~optfp (digests : string list) =
-  Digest.string (optfp ^ String.concat "" digests)
-
-(* ------------------------------------------------------------------ *)
-(* Concat frontend (the parity oracle)                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Rebind a concatenated-program diagnostic to its unit: the unit whose
-   line range contains the span start, with lines shifted to be
-   unit-local. Diagnostics that land in no unit (impossible in practice:
-   separator lines hold only a comment) pass through untouched. *)
-let remap_concat_diag (spans : span list) (d : Cfront.Diag.t) :
-    Cfront.Diag.t =
-  let l = d.Cfront.Diag.d_span.Cfront.Diag.sl in
-  match
-    List.find_opt (fun (s, e, _, _) -> l >= s && l <= e) spans
-  with
-  | Some (s, _, name, _) ->
-      let sp = d.Cfront.Diag.d_span in
-      Cfront.Diag.with_unit
-        ~span:
-          {
-            sp with
-            Cfront.Diag.sl = sp.Cfront.Diag.sl - s + 1;
-            el = sp.Cfront.Diag.el - s + 1;
-          }
-        name d
-  | None -> d
-
-(* Normalize the concat parse's diagnostic order to the per-unit order:
-   unit-major, lexical diagnostics before parse diagnostics within a
-   unit. (The megastring parse reports every unit's lexical errors
-   before any unit's parse errors; the per-unit frontend finishes each
-   unit before starting the next.) The sort is stable, so within one
-   (unit, phase) bucket the source order is preserved. *)
-let normalize_concat_diags (spans : span list) (diags : Cfront.Diag.t list) :
-    Cfront.Diag.t list =
-  let unit_index =
-    let tbl = Hashtbl.create 16 in
-    List.iteri (fun i (_, _, name, _) -> Hashtbl.replace tbl name i) spans;
-    fun d ->
-      match d.Cfront.Diag.d_unit with
-      | Some u -> ( match Hashtbl.find_opt tbl u with Some i -> i | None -> 0)
-      | None -> 0
-  in
-  let phase d =
-    (* E01xx lexical, anything else (E02xx parse, E0299 note) after *)
-    if String.length d.Cfront.Diag.d_code >= 3
-       && String.sub d.Cfront.Diag.d_code 0 3 = "E01"
-    then 0
-    else 1
-  in
-  List.stable_sort
-    (fun a b -> compare (unit_index a, phase a) (unit_index b, phase b))
-    diags
-
-(* multi-unit parity with the per-unit frontend: report unit-local
-   positions and per-unit diagnostic order *)
-let localize_concat ~(spans : span list) (pr : Cfront.Cparse.presult) =
-  match spans with
-  | [] | [ _ ] -> pr
-  | _ ->
-      {
-        pr with
-        Cfront.Cparse.pr_diags =
-          normalize_concat_diags spans
-            (List.map (remap_concat_diag spans) pr.Cfront.Cparse.pr_diags);
-      }
-
-(* One mode over an already-concatenated program [src] whose units are
-   described by [spans]. The cold path is the pre-cache pipeline verbatim;
-   the cached path layers three tiers over it — whole-run, parsed AST, and
-   per-SCC schemes (inside {!Analysis.run}) — each of which degrades to
-   the tier below on any miss or rejection, so every fault converges to
-   the cold result. *)
-let run_concat ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    ?compact ?budget ?jobs ?max_errors ?cache ?lines ~(spans : span list)
-    (src : string) : run =
-  let lines = match lines with Some n -> n | None -> Cfront.Cprog.count_lines src in
-  let localize = localize_concat ~spans in
-  let finish ?cache co =
-    finish ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache mode
-      co
-  in
-  let compiled pr prog t_compile =
-    {
-      co_prog = prog;
-      co_diags = pr.Cfront.Cparse.pr_diags;
-      co_degraded = pr.Cfront.Cparse.pr_degraded;
-      co_lines = lines;
-      co_t_compile = t_compile;
-      co_frontend = None;
-    }
-  in
-  let cold_run ?cache () =
-    let (pr, prog), t_compile =
-      time (fun () ->
-          let pr =
-            localize (Cfront.Cparse.parse_program_partial ?max_errors src)
-          in
-          (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
-    in
-    finish ?cache (compiled pr prog t_compile)
-  in
-  (* budgeted runs are load-dependent, not reproducible artifacts: never
-     cached, never served from cache *)
-  let cache = match budget with Some _ -> None | None -> cache in
-  match cache with
-  | None -> cold_run ()
-  | Some cs -> (
-      let t0 = Unix.gettimeofday () in
-      let optfp =
-        opt_fingerprint ~cs ~mode ~field_sharing ~simplify ~compact
-          ~max_errors
-      in
-      let run_key = run_key ~optfp (List.map (fun (_, _, _, d) -> d) spans) in
-      match
-        (load_marshal cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
-          : cached_run option)
-      with
-      | Some cr -> run_of_cached cr ~t_lookup:(Unix.gettimeofday () -. t0)
-      | None ->
-          let ast_key =
-            Digest.string
-              (Printf.sprintf "ast\000%s\000%s"
-                 (match max_errors with
-                 | Some n -> string_of_int n
-                 | None -> "-")
-                 src)
-          in
-          let (pr, prog), t_compile =
-            time (fun () ->
-                let pr =
-                  match
-                    (load_marshal cs.cs_cache ~kind:"ast" ~key:ast_key
-                       ~deps:[]
-                      : Cfront.Cparse.presult option)
-                  with
-                  | Some pr -> pr
-                  | None ->
-                      let pr =
-                        localize
-                          (Cfront.Cparse.parse_program_partial ?max_errors
-                             src)
-                      in
-                      Cache.store cs.cs_cache ~kind:"ast" ~key:ast_key
-                        ~deps:[]
-                        (Marshal.to_string pr []);
-                      pr
-                in
-                (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
-          in
-          let unit_of =
-            let tbl = Hashtbl.create 64 in
-            List.iter
-              (fun (f : Cfront.Cast.fundef) ->
-                List.iter
-                  (fun (s, e, _, d) ->
-                    if
-                      f.Cfront.Cast.f_line >= s
-                      && f.Cfront.Cast.f_line <= e
-                      && not (Hashtbl.mem tbl f.Cfront.Cast.f_name)
-                    then Hashtbl.replace tbl f.Cfront.Cast.f_name d)
-                  spans)
-              (Cfront.Cprog.functions prog);
-            fun name -> Hashtbl.find_opt tbl name
-          in
-          let actx =
-            {
-              Analysis.cc_cache = cs.cs_cache;
-              cc_key_prefix = env_fingerprint prog ^ optfp;
-              cc_unit_of = unit_of;
-            }
-          in
-          let run =
-            finish ~cache:actx (compiled pr prog t_compile)
-          in
-          Cache.store cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
-            (Marshal.to_string (cached_of_run run) []);
-          run)
-
-(* ------------------------------------------------------------------ *)
-(* Per-unit frontend                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(* the per-unit AST cache payload: the speculative (environment-free)
-   parse of one unit, reusable under any link order. Reparses triggered
-   by the link environment are never cached — they depend on it. *)
-type cached_unit = { cu_res : Cfront.Cparse.uresult }
-
-let unit_key ~max_errors ~digest =
-  Digest.string (Printf.sprintf "unit\000%d\000%s" max_errors digest)
-
-(* one unit's frontend product, pre-link *)
-type unit_fe = {
-  uf_name : string;
-  uf_src : string;
-  uf_digest : string;
-  uf_res : Cfront.Cparse.uresult;
-  uf_prog : Cfront.Cprog.t;  (* build of the speculative parse *)
-}
-
-(** The per-unit frontend alone: speculative parallel lex+parse+build per
-    translation unit, then a deterministic serial link that replays the
-    cross-unit parser environment in file order and re-parses the rare
-    unit whose speculative result it could have influenced. Returns the
-    compiled program plus the function-name -> defining-unit-digest table
-    the per-SCC cache tier keys on. *)
-let compile_units ?cache ~jobs ~me (files : (string * string) list) :
-    compiled * (string, string) Hashtbl.t =
-  let lines =
-    List.fold_left
-      (fun acc (_, src) -> acc + Cfront.Cprog.count_lines src)
-      0 files
-  in
-  let multi = match files with [] | [ _ ] -> false | _ -> true in
-  let t0 = Unix.gettimeofday () in
-  let files_a = Array.of_list files in
-  let digests_a =
-    Array.map (fun (name, src) -> unit_digest name src) files_a
-  in
-  let n = Array.length files_a in
-      (* --- per-unit AST cache probes (serial: cache handles are not
-         domain-safe) --- *)
-      let probed : Cfront.Cparse.uresult option array = Array.make n None in
-      (match cache with
-      | None -> ()
-      | Some cs ->
-          Array.iteri
-            (fun i _ ->
-              match
-                (load_marshal cs.cs_cache ~kind:"unit"
-                   ~key:(unit_key ~max_errors:me ~digest:digests_a.(i))
-                   ~deps:[]
-                  : cached_unit option)
-              with
-              | Some cu -> probed.(i) <- Some cu.cu_res
-              | None -> ())
-            files_a);
-      (* --- speculative lex+parse+build, one task per unit --- *)
-      let slots : unit_fe option array = Array.make n None in
-      let tmu = Mutex.create () in
-      let lex_s = ref 0. and parse_s = ref 0. and build_s = ref 0. in
-      let add cell dt =
-        Mutex.lock tmu;
-        cell := !cell +. dt;
-        Mutex.unlock tmu
-      in
-      Typequal.Pool.with_pool ~jobs (fun pool ->
-          Array.iteri
-            (fun i (name, src) ->
-              Typequal.Pool.submit pool (fun () ->
-                  let res =
-                    match probed.(i) with
-                    | Some res -> res
-                    | None ->
-                        let (tb, lex_diags), t_lex =
-                          time (fun () ->
-                              Cfront.Clexer.tokenize_buf ~max_errors:me src)
-                        in
-                        add lex_s t_lex;
-                        let res, t_parse =
-                          time (fun () ->
-                              Cfront.Cparse.parse_unit ~max_errors:me tb
-                                ~lex_diags)
-                        in
-                        add parse_s t_parse;
-                        res
-                  in
-                  let prog, t_build =
-                    time (fun () ->
-                        Cfront.Cprog.build
-                          res.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_prog)
-                  in
-                  add build_s t_build;
-                  slots.(i) <-
-                    Some
-                      {
-                        uf_name = name;
-                        uf_src = src;
-                        uf_digest = digests_a.(i);
-                        uf_res = res;
-                        uf_prog = prog;
-                      }))
-            files_a;
-          Typequal.Pool.wait pool);
-      (* --- persist fresh speculative parses --- *)
-      (match cache with
-      | None -> ()
-      | Some cs ->
-          Array.iteri
-            (fun i uf ->
-              match (probed.(i), uf) with
-              | None, Some uf ->
-                  Cache.store cs.cs_cache ~kind:"unit"
-                    ~key:(unit_key ~max_errors:me ~digest:digests_a.(i))
-                    ~deps:[]
-                    (Marshal.to_string { cu_res = uf.uf_res } [])
-              | _ -> ())
-            slots);
-      (* --- serial link: validate each speculative parse against the
-         accumulated environment, re-parse when it could have been
-         influenced, thread the diagnostic budget, merge in file order --- *)
-      let link_t0 = Unix.gettimeofday () in
-      let env_typedefs : (string, unit) Hashtbl.t = Hashtbl.create 64 in
-      let env_enums : (string, int) Hashtbl.t = Hashtbl.create 64 in
-      let env_anon = ref 0 in
-      let consumed = ref 0 in
-      let capped = ref false in
-      let reparsed = ref 0 in
-      let progs = ref [] in
-      let diags = ref [] in
-      let degraded = ref [] in
-      let unit_of_tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
-      Array.iter
-        (fun uf ->
-          let uf = Option.get uf in
-          if not !capped then
-            if !consumed >= me then begin
-              (* the budget ran out exactly at a unit boundary: a
-                 whole-program parse would give up at this unit's first
-                 token *)
-              capped := true;
-              let d =
-                Cfront.Diag.note ~code:"E0299"
-                  uf.uf_res.Cfront.Cparse.ur_first_span
-                  (Printf.sprintf
-                     "too many errors (%d); giving up on the rest of the \
-                      file"
-                     me)
-              in
-              let d =
-                if multi then Cfront.Diag.with_unit uf.uf_name d else d
-              in
-              diags := d :: !diags
-            end
-            else begin
-              let spec = uf.uf_res in
-              let k =
-                List.length spec.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_diags
-              in
-              let mention_hit =
-                (Hashtbl.length env_typedefs > 0
-                || Hashtbl.length env_enums > 0)
-                && List.exists
-                     (fun id ->
-                       Hashtbl.mem env_typedefs id
-                       || Hashtbl.mem env_enums id)
-                     spec.Cfront.Cparse.ur_idents
-              in
-              let anon_hit =
-                !env_anon > 0 && spec.Cfront.Cparse.ur_anon > 0
-              in
-              let budget_hit = !consumed > 0 && k > 0 && !consumed + k >= me in
-              let res, prog =
-                if not (mention_hit || anon_hit || budget_hit) then
-                  (spec, uf.uf_prog)
-                else begin
-                  incr reparsed;
-                  let seed =
-                    {
-                      Cfront.Cparse.us_typedefs =
-                        Hashtbl.fold
-                          (fun k () acc -> k :: acc)
-                          env_typedefs [];
-                      us_enums =
-                        Hashtbl.fold
-                          (fun k v acc -> (k, v) :: acc)
-                          env_enums [];
-                      us_anon = !env_anon;
-                      us_count_base = !consumed;
-                    }
-                  in
-                  let tb, lex_diags =
-                    Cfront.Clexer.tokenize_buf ~max_errors:(me - !consumed)
-                      uf.uf_src
-                  in
-                  let res =
-                    Cfront.Cparse.parse_unit ~max_errors:me ~seed tb
-                      ~lex_diags
-                  in
-                  ( res,
-                    Cfront.Cprog.build
-                      res.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_prog )
-                end
-              in
-              let pr = res.Cfront.Cparse.ur_pr in
-              consumed := !consumed + List.length pr.Cfront.Cparse.pr_diags;
-              if res.Cfront.Cparse.ur_capped then capped := true;
-              List.iter
-                (fun name -> Hashtbl.replace env_typedefs name ())
-                res.Cfront.Cparse.ur_typedefs;
-              List.iter
-                (fun (name, v) -> Hashtbl.replace env_enums name v)
-                res.Cfront.Cparse.ur_enums;
-              env_anon := !env_anon + res.Cfront.Cparse.ur_anon;
-              progs := prog :: !progs;
-              List.iter
-                (fun d ->
-                  let d =
-                    if multi then Cfront.Diag.with_unit uf.uf_name d else d
-                  in
-                  diags := d :: !diags)
-                pr.Cfront.Cparse.pr_diags;
-              List.iter
-                (fun dg -> degraded := dg :: !degraded)
-                pr.Cfront.Cparse.pr_degraded;
-              List.iter
-                (fun (f : Cfront.Cast.fundef) ->
-                  if not (Hashtbl.mem unit_of_tbl f.Cfront.Cast.f_name) then
-                    Hashtbl.replace unit_of_tbl f.Cfront.Cast.f_name
-                      uf.uf_digest)
-                (Cfront.Cprog.functions prog)
-            end)
-        slots;
-      let prog = Cfront.Cprog.merge (List.rev !progs) in
-      let link_s = Unix.gettimeofday () -. link_t0 in
-      let t_compile = Unix.gettimeofday () -. t0 in
-      let fe =
-        {
-          fs_units = n;
-          fs_reparsed = !reparsed;
-          fs_lex_s = !lex_s;
-          fs_parse_s = !parse_s;
-          fs_build_s = !build_s;
-          fs_link_s = link_s;
-        }
-      in
-      let co =
-        {
-          co_prog = prog;
-          co_diags = List.rev !diags;
-          co_degraded = List.rev !degraded;
-          co_lines = lines;
-          co_t_compile = t_compile;
-          co_frontend = Some fe;
-        }
-      in
-      (co, unit_of_tbl)
-
-(** One mode over the per-unit pipeline, with the whole-run and per-unit
-    AST cache tiers layered over {!compile_units}. *)
-let run_units ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
-    ?compact ?budget ?(jobs = 1) ?max_errors ?cache
-    (files : (string * string) list) : run =
-  let me = Option.value max_errors ~default:20 in
-  (* budgeted runs are never cached (see run_concat) *)
-  let cache = match budget with Some _ -> None | None -> cache in
-  let t0 = Unix.gettimeofday () in
-  let digests = List.map (fun (n, s) -> unit_digest n s) files in
-  let optfp =
-    match cache with
-    | None -> ""
-    | Some cs ->
-        opt_fingerprint ~cs ~mode ~field_sharing ~simplify ~compact
-          ~max_errors
-  in
-  let rkey = run_key ~optfp digests in
-  let run_hit =
-    match cache with
-    | None -> None
-    | Some cs ->
-        (load_marshal cs.cs_cache ~kind:"run" ~key:rkey ~deps:[]
-          : cached_run option)
-  in
-  match run_hit with
-  | Some cr -> run_of_cached cr ~t_lookup:(Unix.gettimeofday () -. t0)
-  | None ->
-      let co, unit_of_tbl = compile_units ?cache ~jobs ~me files in
-      let actx =
-        match cache with
-        | None -> None
-        | Some cs ->
-            Some
-              {
-                Analysis.cc_cache = cs.cs_cache;
-                cc_key_prefix = env_fingerprint co.co_prog ^ optfp;
-                cc_unit_of =
-                  (fun name -> Hashtbl.find_opt unit_of_tbl name);
-              }
-      in
-      let run =
-        finish ?rules ?field_sharing ?simplify ?compact ?budget ~jobs
-          ?cache:actx mode co
-      in
-      (match cache with
-      | None -> ()
-      | Some cs ->
-          Cache.store cs.cs_cache ~kind:"run" ~key:rkey ~deps:[]
-            (Marshal.to_string (cached_of_run run) []));
-      run
-
-(* ------------------------------------------------------------------ *)
-(* Entry points                                                        *)
-(* ------------------------------------------------------------------ *)
-
-(** Run one mode on C source, recovering from lexer/parser errors: globals
-    that fail to parse are dropped (with a diagnostic), function bodies
-    that fail are demoted to prototypes and reported as degraded outcomes.
-    Raises only for faults that leave nothing to analyze (e.g.
-    [Cfront.Cprog.Frontend_error] from table construction). *)
-let run_source ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
-    ?max_errors ?cache ?(unit = "<input>") (src : string) : run =
-  run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
-    ?max_errors ?cache
-    ~spans:[ (1, max_int, unit, unit_digest unit src) ]
-    src
-
-(** Multi-file projects, concatenated (the parity oracle): the
-    translation units are analyzed as one program, as a 1990s
-    whole-program analysis would see them after preprocessing. File
-    boundaries are kept as comments for span accounting — and, when
-    caching, as the unit spans that key per-file invalidation. *)
-let concat_sources_spans (files : (string * string) list) :
-    string * span list =
-  let b = Buffer.create 65536 in
-  let line = ref 1 in
-  let spans = ref [] in
-  List.iter
-    (fun (name, src) ->
-      Buffer.add_string b (Printf.sprintf "/* === %s === */\n" name);
-      incr line;
-      let start = !line in
-      Buffer.add_string b src;
-      let nl =
-        String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 src
-      in
-      let add_nl =
-        String.length src > 0 && src.[String.length src - 1] <> '\n'
-      in
-      if add_nl then Buffer.add_char b '\n';
-      line := !line + nl + (if add_nl then 1 else 0);
-      spans := (start, !line - 1, name, unit_digest name src) :: !spans)
-    files;
-  (Buffer.contents b, List.rev !spans)
-
-let concat_sources files = fst (concat_sources_spans files)
-
-(** Multi-file projects: each translation unit is lexed and parsed
-    independently (per-unit frontend, the default), or the units are
-    concatenated and parsed as one megastring ({!Concat}, the legacy
-    oracle). Reports, diagnostics, and solver counters are byte-identical
-    either way; only speed, memory, and cache granularity differ. *)
-let run_sources ?(frontend = Per_unit) ?mode ?rules ?field_sharing ?simplify
-    ?compact ?budget ?jobs ?max_errors ?cache
-    (files : (string * string) list) : run =
-  match frontend with
-  | Per_unit ->
-      run_units ?mode ?rules ?field_sharing ?simplify ?compact ?budget
-        ?jobs ?max_errors ?cache files
-  | Concat ->
-      let src, spans = concat_sources_spans files in
-      let lines =
-        List.fold_left
-          (fun acc (_, s) -> acc + Cfront.Cprog.count_lines s)
-          0 files
-      in
-      run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget
-        ?jobs ?max_errors ?cache ~lines ~spans src
-
-(** The frontend alone — parse and link a multi-file project without
-    analyzing it. What the bench harness times and heap-profiles when it
-    compares the two frontends' compile phases. *)
-let compile_sources ?(frontend = Per_unit) ?(jobs = 1) ?max_errors
-    (files : (string * string) list) : compiled =
-  let me = Option.value max_errors ~default:20 in
-  match frontend with
-  | Per_unit -> fst (compile_units ~jobs ~me files)
-  | Concat ->
-      let src, spans = concat_sources_spans files in
-      let lines =
-        List.fold_left
-          (fun acc (_, s) -> acc + Cfront.Cprog.count_lines s)
-          0 files
-      in
-      let (pr, prog), t_compile =
-        time (fun () ->
-            let pr =
-              localize_concat ~spans
-                (Cfront.Cparse.parse_program_partial ~max_errors:me src)
-            in
-            (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
-      in
-      {
-        co_prog = prog;
-        co_diags = pr.Cfront.Cparse.pr_diags;
-        co_degraded = pr.Cfront.Cparse.pr_degraded;
-        co_lines = lines;
-        co_t_compile = t_compile;
-        co_frontend = None;
-      }
-
-(** Run both modes, reusing the parse: one row of Table 2. *)
-type row = {
+type row = Session.row = {
   name : string;
   r_lines : int;
   compile_s : float;
@@ -900,20 +86,4 @@ type row = {
   poly_results : Report.results;
 }
 
-let table2_row ~name (src : string) : row =
-  let prog, t_compile = time (fun () -> compile src) in
-  let _, mono_results, mono_s = analyze Analysis.Mono prog in
-  let _, poly_results, poly_s = analyze Analysis.Poly prog in
-  {
-    name;
-    r_lines = Cfront.Cprog.count_lines src;
-    compile_s = t_compile;
-    mono_s;
-    poly_s;
-    declared = mono_results.Report.declared;
-    mono = mono_results.Report.possible;
-    poly = poly_results.Report.possible;
-    total = mono_results.Report.total;
-    mono_results;
-    poly_results;
-  }
+let table2_row = Session.table2_row

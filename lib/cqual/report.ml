@@ -17,7 +17,10 @@ open Qtypes
 type where = Param of int * string | Ret
 
 (* Positions are plain data (no solver-variable back-pointers): the whole
-   {!results} record must survive [Marshal] for the persistent run cache. *)
+   {!results} record must survive [Marshal] for the persistent run cache.
+   The [p_unit]/[p_line]/[p_col] anchor gives every position a stable
+   source address, so a marshaled result can still be queried by
+   [file:line:col] even though the solver variable is gone. *)
 type position = {
   p_fun : string;
   p_where : where;
@@ -27,7 +30,28 @@ type position = {
       (** inferred [least, greatest] level names when the measured
           qualifier is an ordered (multi-level) coordinate; [None] for
           classic two-point qualifiers *)
+  p_unit : string;  (** source unit the anchor refers to; "" if unknown *)
+  p_line : int;  (** 1-based line of the declaring name; 0 if unknown *)
+  p_col : int;  (** 1-based column of the declaring name; 0 if unknown *)
 }
+
+(** Canonical stable address of a position: [unit:line:col@level] when
+    the anchor carries column precision, otherwise the structural
+    fallback [unit:fun:pN@level] / [unit:fun:ret@level]. Both forms are
+    registered in the {!measure_indexed} index, so clients may query by
+    either. *)
+let structural_key (p : position) =
+  let w =
+    match p.p_where with
+    | Param (i, _) -> Printf.sprintf "p%d" i
+    | Ret -> "ret"
+  in
+  Printf.sprintf "%s:%s:%s@%d" p.p_unit p.p_fun w p.p_level
+
+let position_key (p : position) =
+  if p.p_line > 0 && p.p_col > 0 then
+    Printf.sprintf "%s:%d:%d@%d" p.p_unit p.p_line p.p_col p.p_level
+  else structural_key p
 
 type verdict = Must_const | Must_not_const | Either
 
@@ -48,8 +72,9 @@ type results = {
    collecting one position per pointer level. The qualifier variable rides
    alongside each position internally; {!measure} classifies through it
    and drops it before publishing. *)
-let positions_of_rt ?(qual = "const") ~fname ~where prog
+let positions_of_rt ?(qual = "const") ?(loc = ("", 0, 0)) ~fname ~where prog
     (decl_ty : Cast.ctype) (r : rt) : (position * Solver.var) list =
+  let p_unit, p_line, p_col = loc in
   let rec go level decl_ty r acc =
     match (decl_ty, r) with
     | (Cast.TPtr (target, _) | Cast.TArray (target, _, _)), RPtr c ->
@@ -60,6 +85,9 @@ let positions_of_rt ?(qual = "const") ~fname ~where prog
             p_level = level;
             p_declared = Cast.has_qual qual (Cast.quals_of target);
             p_levels = None;
+            p_unit;
+            p_line;
+            p_col;
           }
         in
         go (level + 1) target c.contents ((pos, c.q) :: acc)
@@ -67,20 +95,46 @@ let positions_of_rt ?(qual = "const") ~fname ~where prog
   in
   go 1 (Cprog.decay (Cprog.expand prog decl_ty)) r []
 
-let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
-    (position * Solver.var) list =
+(* [locate fname line] resolves an AST line to its (unit, local line)
+   pair: per-unit sessions map through the member's home unit, concat
+   mode through the span table. The default leaves lines untouched with
+   an anonymous unit, preserving historical output for batch callers. *)
+let positions_of_fun ?qual ?(locate = fun _fname line -> ("", line)) prog
+    (f : Cast.fundef) (iface : fsig) : (position * Solver.var) list =
+  let anchor (line, col) =
+    if line <= 0 then ("", 0, 0)
+    else
+      let u, l = locate f.f_name line in
+      (u, l, col)
+  in
+  let param_locs =
+    (* defensively re-align with f_params (exotic declarators may have
+       produced fewer recorded name spans than parameters) *)
+    let n = List.length f.f_params in
+    let rec pad locs k =
+      if k = 0 then []
+      else
+        match locs with
+        | l :: rest -> l :: pad rest (k - 1)
+        | [] -> (0, 0) :: pad [] (k - 1)
+    in
+    pad f.f_param_locs n
+  in
   let params =
     List.concat
       (List.map2
-         (fun (i, (pname, pty)) (c : cell) ->
-           positions_of_rt ?qual ~fname:f.f_name ~where:(Param (i, pname))
-             prog pty c.contents)
-         (List.mapi (fun i p -> (i, p)) f.f_params)
+         (fun (i, (pname, pty), ploc) (c : cell) ->
+           positions_of_rt ?qual ~loc:(anchor ploc) ~fname:f.f_name
+             ~where:(Param (i, pname)) prog pty c.contents)
+         (List.map2
+            (fun (i, p) ploc -> (i, p, ploc))
+            (List.mapi (fun i p -> (i, p)) f.f_params)
+            param_locs)
          iface.fs_params)
   in
   let ret =
-    positions_of_rt ?qual ~fname:f.f_name ~where:Ret prog f.f_ret
-      iface.fs_ret
+    positions_of_rt ?qual ~loc:(anchor f.f_name_loc) ~fname:f.f_name
+      ~where:Ret prog f.f_ret iface.fs_ret
   in
   params @ ret
 
@@ -91,7 +145,8 @@ let positions_of_fun ?qual prog (f : Cast.fundef) (iface : fsig) :
     conservatively classified [Either] and every function is reported
     degraded (keeping any more specific per-function reason already
     recorded). *)
-let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
+let measure_full ?locate (env : Analysis.env) (ifaces : (string * fsig) list)
+    : results * (position * verdict * Solver.var) list =
   let store = env.Analysis.store in
   ignore (Solver.solve store : (unit, Solver.error list) result);
   let type_errors = List.length (Solver.last_errors store) in
@@ -106,7 +161,7 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
       (fun (name, iface) ->
         match Cprog.find_fun env.Analysis.prog name with
         | Some f -> (
-            try positions_of_fun ~qual env.Analysis.prog f iface
+            try positions_of_fun ~qual ?locate env.Analysis.prog f iface
             with Cprog.Frontend_error m ->
               Analysis.degrade env name ("measurement failed: " ^ m);
               [])
@@ -140,9 +195,10 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
           if budget_trip <> None then p
           else { p with p_levels = level_range var }
         in
-        (p, v))
+        (p, v, var))
       positions
   in
+  let pairs = List.map (fun (p, v, _) -> (p, v)) classified in
   let outcomes =
     List.map
       (fun (f : Cast.fundef) ->
@@ -160,17 +216,41 @@ let measure (env : Analysis.env) (ifaces : (string * fsig) list) : results =
         (f.f_name, o))
       (Cprog.functions env.Analysis.prog)
   in
-  let count f = List.length (List.filter f classified) in
-  {
-    positions = classified;
-    declared = count (fun (p, _) -> p.p_declared);
-    possible = count (fun (_, v) -> v <> Must_not_const);
-    must = count (fun (_, v) -> v = Must_const);
-    total = List.length classified;
-    type_errors;
-    warnings = env.Analysis.warnings;
-    outcomes;
-  }
+  let count f = List.length (List.filter f pairs) in
+  ( {
+      positions = pairs;
+      declared = count (fun (p, _) -> p.p_declared);
+      possible = count (fun (_, v) -> v <> Must_not_const);
+      must = count (fun (_, v) -> v = Must_const);
+      total = List.length pairs;
+      type_errors;
+      warnings = env.Analysis.warnings;
+      outcomes;
+    },
+    classified )
+
+let measure ?locate env ifaces = fst (measure_full ?locate env ifaces)
+
+(** Like {!measure}, but also return an index from stable position keys
+    to the live position, verdict and solver variable. Each position is
+    registered under its structural key and (when the anchor has column
+    precision) its canonical [unit:line:col@level] key. Only meaningful
+    against a live store — the index holds solver-variable back-pointers
+    and must not be marshaled. *)
+let measure_indexed ?locate env ifaces :
+    results * (string, position * verdict * Solver.var) Hashtbl.t =
+  let r, classified = measure_full ?locate env ifaces in
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun (p, v, var) ->
+      let add k =
+        if not (Hashtbl.mem index k) then Hashtbl.add index k (p, v, var)
+      in
+      add (structural_key p);
+      let ck = position_key p in
+      if ck <> structural_key p then add ck)
+    classified;
+  (r, index)
 
 let pp_where ppf = function
   | Param (i, name) -> Fmt.pf ppf "param %d (%s)" i name

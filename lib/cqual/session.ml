@@ -1,0 +1,1395 @@
+(** The analysis session: every stage of the const-inference pipeline —
+    unit table, linked program, FDG, published schemes, solved store,
+    report — as a persistent value with precise invalidation, plus the
+    batch entry points that drive one-shot runs over the same machinery.
+
+    The staged pipeline Table 2 and Figure 6 are produced from lives
+    here; {!Driver} re-exports the batch surface for existing callers.
+    A {!t} keeps the warm artifacts between runs: the per-unit AST memo
+    (keyed by unit content digest) and the per-SCC scheme memo (keyed by
+    the same digests PR 7's persistent cache computes), so
+    {!update_unit} dirties exactly the cone of the edit — unchanged
+    units replay their ASTs without lexing and unchanged SCCs whose
+    dependency interfaces still hold replay their schemes without
+    re-generation. Queries ({!classify}, {!explain}, {!whatif}) are
+    answered against the warm solved store through stable
+    [unit:line:col] position keys (see {!Report.position_key}).
+
+    Multi-file projects run through the {e per-unit frontend} by
+    default: each translation unit is lexed and parsed independently (in
+    parallel under [--jobs]), then a deterministic serial link step
+    merges the unit programs and threads the cross-unit parser
+    environment. The pre-PR-9 "concatenate, then parse once" pipeline is
+    kept behind {!Concat} as the parity oracle — both frontends produce
+    byte-identical reports, diagnostics, and solver counters. See
+    DESIGN.md "Per-unit frontend" and "Session architecture". *)
+
+type timing = {
+  t_compile : float;  (** parse + table construction, seconds *)
+  t_analysis : float;  (** constraint generation + solving *)
+}
+
+(** Which frontend assembles the whole program from translation units. *)
+type frontend =
+  | Per_unit  (** per-unit parse + link (default) *)
+  | Concat  (** legacy megastring concatenation: the parity oracle *)
+
+(** Frontend phase breakdown. Under [--jobs] > 1 the lex/parse/build
+    times are summed across worker domains (like the solver's per-phase
+    timers), so they can exceed the compile wall clock. *)
+type frontend_stats = {
+  fs_units : int;
+  fs_reparsed : int;
+      (** units whose speculative parse was discarded and redone with
+          the linked environment (typedef/enum-name overlap, anonymous
+          tag numbering, or a diagnostic budget spill) *)
+  fs_lex_s : float;
+  fs_parse_s : float;
+  fs_build_s : float;
+  fs_link_s : float;
+}
+
+type run = {
+  results : Report.results;
+  timing : timing;
+  lines : int;
+  n_functions : int;
+  n_constraints : int;  (** number of qualifier variables, a proxy for size *)
+  solver_stats : Typequal.Solver.stats;
+      (** constraint-store counters (unifications, dedup, cycle collapses,
+          worklist pops) accumulated over the whole run *)
+  diagnostics : Cfront.Diag.t list;
+      (** lexer/parser diagnostics recovered from, in source order; empty
+          for a clean parse. Multi-unit runs carry unit-local positions
+          ([Diag.d_unit] names the file). *)
+  fdg_scc_count : int;  (** SCCs in the function dependence graph *)
+  fdg_largest_scc : int;  (** size of the largest (mutual-recursion) SCC *)
+  wavefront_width : int;
+      (** maximum SCCs simultaneously ready under wavefront scheduling: an
+          upper bound on useful analysis parallelism *)
+  par : Analysis.par_stats option;
+      (** parallel-engine phase breakdown; [None] for serial runs *)
+  frontend : frontend_stats option;
+      (** per-unit frontend phase breakdown; [None] for the concat
+          oracle, single-source runs, and whole-run cache hits *)
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+exception Error of string
+
+let compile src =
+  match Cfront.Cparse.parse_program_result src with
+  | Error m -> raise (Error m)
+  | Ok p -> Cfront.Cprog.build p
+
+(** [Some cores] when [jobs] asks for more worker domains than the host
+    can schedule — the caller should warn: oversubscribed domains contend
+    instead of parallelizing (BENCH_hotpath.json measured jobs-4 on one
+    core at ~7x slower than serial). *)
+let oversubscription ~jobs =
+  let cores = Typequal.Pool.cores_available () in
+  if jobs > cores then Some cores else None
+
+(** The oversubscription advisory as a structured diagnostic (severity
+    {!Cfront.Diag.Notice}, code N0901). The batch CLIs render it with a
+    ["warning: "] prefix — byte-identical to the historical free-form
+    line — while the daemon ships it to clients as data. *)
+let oversubscription_notice ~jobs : Cfront.Diag.t option =
+  match oversubscription ~jobs with
+  | None -> None
+  | Some cores ->
+      Some
+        (Cfront.Diag.notice ~code:"N0901"
+           (Printf.sprintf
+              "--jobs %d exceeds the %d available cores; domains will \
+               contend rather than parallelize"
+              jobs cores))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent cache (three disk tiers; see DESIGN.md)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Typequal.Cache
+
+(** an open cache plus the caller's identity string for everything the
+    fingerprints below cannot see — the rule set beyond its qualifier
+    space (e.g. which CLI analysis flavour and lattice file built it) *)
+type cache_spec = { cs_cache : Cache.t; cs_opts_id : string }
+
+(* The context digest stamped into every envelope: qualifier-space dump
+   (the full lattice structure), compiler version (Marshal payloads are
+   not portable across it), and a payload-format revision to bump whenever
+   any marshaled type in this file or the analysis changes shape. *)
+let space_fingerprint (sp : Typequal.Lattice.Space.t) : Digest.t =
+  Digest.string
+    (Fmt.str "%a|%s|payload-fmt-3" Typequal.Lattice.Space.pp_dump sp
+       Sys.ocaml_version)
+
+(** Open a cache directory for runs under this rule set (default: const
+    inference). Returns [None] — after [warn] — when the path is unusable;
+    run without a cache then. Never raises. *)
+let open_cache ?warn ?(rules = Analysis.const_rules) ~opts_id dir :
+    cache_spec option =
+  match
+    Cache.open_dir ?warn ~ctx:(space_fingerprint rules.Analysis.qr_space) dir
+  with
+  | Some c -> Some { cs_cache = c; cs_opts_id = opts_id }
+  | None -> None
+
+(* Unit identity: the per-file content hash that keys invalidation. The
+   name participates, so renaming a file on disk invalidates exactly the
+   units (and run) that file contributes to. *)
+let unit_digest name content = Digest.string (name ^ "\000" ^ content)
+
+(* a unit's span in the concatenated program: first line, last line, unit
+   name, content digest *)
+type span = int * int * string * string
+
+let mode_name = function
+  | Analysis.Mono -> "mono"
+  | Analysis.Poly -> "poly"
+  | Analysis.Polyrec -> "polyrec"
+
+(* Everything that parameterizes inference besides the program text and
+   the qualifier space (already in the envelope context). [jobs] is
+   deliberately absent: results are jobs-invariant. So is the frontend:
+   per-unit and concat runs are byte-identical, hence cache-compatible. *)
+let opt_fingerprint ~opts_id ~mode ~field_sharing ~simplify ~compact
+    ~max_errors : string =
+  let ob = function Some b -> string_of_bool b | None -> "-" in
+  Digest.string
+    (String.concat "|"
+       [
+         opts_id;
+         mode_name mode;
+         ob field_sharing;
+         ob simplify;
+         ob compact;
+         (match max_errors with Some n -> string_of_int n | None -> "-");
+       ])
+
+(* The cross-unit declaration context a function's analysis depends on
+   beyond its own unit: globals, prototypes, typedefs, struct/union
+   layouts, enums — everything of the program except function bodies
+   (covered per-unit) and the FDG dependency set (covered by the
+   envelopes' dependency digests). Line numbers and initializers are
+   excluded, so touching one unit does not invalidate the others — and
+   the digest is frontend-invariant (unit-local vs concatenated line
+   numbers never enter it). *)
+let env_fingerprint (prog : Cfront.Cprog.t) : string =
+  let b = Buffer.create 4096 in
+  let put x = Buffer.add_string b (Marshal.to_string x []) in
+  List.iter
+    (fun (g : Cfront.Cast.global) ->
+      match g with
+      | Cfront.Cast.GFun _ -> ()
+      | Cfront.Cast.GVar d ->
+          put ("v", d.Cfront.Cast.d_name, d.Cfront.Cast.d_type)
+      | Cfront.Cast.GProto (n, t, _) -> put ("p", n, t)
+      | Cfront.Cast.GTypedef (n, t, _) -> put ("t", n, t)
+      | Cfront.Cast.GComp (tag, u, fields, _) -> put ("c", (tag, u, fields))
+      | Cfront.Cast.GEnum (tag, items, _) -> put ("e", (tag, items)))
+    prog.Cfront.Cprog.order;
+  Digest.string (Buffer.contents b)
+
+(* the run record's cacheable core: no wall-clock, no parallel-phase
+   breakdown, solver counters sanitized of nondeterministic fields *)
+type cached_run = {
+  cr_results : Report.results;
+  cr_lines : int;
+  cr_n_functions : int;
+  cr_n_constraints : int;
+  cr_stats : Typequal.Solver.stats;
+  cr_diags : Cfront.Diag.t list;
+  cr_scc_count : int;
+  cr_largest_scc : int;
+  cr_wavefront : int;
+}
+
+(* load kind/key and unmarshal as ['a]; any decode failure rejects the
+   entry (the envelope verified, so the payload was well-formed bytes that
+   mean nothing to us — e.g. written by a differently-shaped build) *)
+let load_marshal (type a) (c : Cache.t) ~kind ~key ~deps : a option =
+  match Cache.load c ~kind ~key ~deps with
+  | None -> None
+  | Some payload -> (
+      match (Marshal.from_string payload 0 : a) with
+      | v -> Some v
+      | exception ((Out_of_memory | Sys.Break) as e) -> raise e
+      | exception _ ->
+          Cache.reject_undecodable c ~kind ~key;
+          None)
+
+(* analysis + measurement, also returning the live interfaces and the
+   stable-key position index the persistent session queries through *)
+let analyze_indexed ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?cache ?locate mode prog =
+  let (env, ifaces), t =
+    time (fun () ->
+        Analysis.run ?rules ?field_sharing ?simplify ?compact ?budget ?cache
+          ?jobs mode prog)
+  in
+  let st = env.Analysis.store in
+  let solve0 = (Typequal.Solver.stats st).solve_s in
+  let (results, index), t2 =
+    time (fun () -> Report.measure_indexed ?locate env ifaces)
+  in
+  (* the report's own cost, minus the final solve it triggers (that time
+     is already accounted to solve_s) *)
+  let solve_d = (Typequal.Solver.stats st).solve_s -. solve0 in
+  Typequal.Solver.note_phase st Typequal.Solver.Report
+    (Float.max 0. (t2 -. solve_d));
+  (env, ifaces, results, index, t +. t2)
+
+let analyze ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
+    mode prog =
+  let env, _, results, _, t =
+    analyze_indexed ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+      ?cache mode prog
+  in
+  (env, results, t)
+
+(* ------------------------------------------------------------------ *)
+(* Shared back half of both frontends                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* the frontend's product, whichever frontend built it *)
+type compiled = {
+  co_prog : Cfront.Cprog.t;
+  co_diags : Cfront.Diag.t list;
+  co_degraded : (string * string) list;
+  co_lines : int;
+  co_t_compile : float;
+  co_frontend : frontend_stats option;
+}
+
+let finish_full ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?cache ?locate mode (co : compiled) =
+  let env, ifaces, results, index, t_analysis =
+    analyze_indexed ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+      ?cache ?locate mode co.co_prog
+  in
+  let fdg = Fdg.build co.co_prog in
+  let results =
+    {
+      results with
+      (* tail-recursive construction: a pathological input can demote
+         thousands of functions, and outcome lists are program-sized *)
+      Report.outcomes =
+        List.rev_append
+          (List.rev results.Report.outcomes)
+          (List.rev
+             (List.rev_map
+                (fun (name, reason) -> (name, Analysis.Degraded reason))
+                co.co_degraded));
+    }
+  in
+  let run =
+    {
+      results;
+      timing = { t_compile = co.co_t_compile; t_analysis };
+      lines = co.co_lines;
+      n_functions = List.length (Cfront.Cprog.functions co.co_prog);
+      n_constraints = Typequal.Solver.num_vars env.Analysis.store;
+      solver_stats = Analysis.stats env;
+      diagnostics = co.co_diags;
+      fdg_scc_count = Fdg.scc_count fdg;
+      fdg_largest_scc = Fdg.largest_scc fdg;
+      wavefront_width = Fdg.wavefront_width fdg;
+      par = env.Analysis.par;
+      frontend = co.co_frontend;
+    }
+  in
+  (run, env, ifaces, index)
+
+let finish ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
+    ?locate mode (co : compiled) : run =
+  let run, _, _, _ =
+    finish_full ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+      ?cache ?locate mode co
+  in
+  run
+
+let run_of_cached (cr : cached_run) ~t_lookup : run =
+  {
+    results = cr.cr_results;
+    timing = { t_compile = 0.; t_analysis = t_lookup };
+    lines = cr.cr_lines;
+    n_functions = cr.cr_n_functions;
+    n_constraints = cr.cr_n_constraints;
+    solver_stats = cr.cr_stats;
+    diagnostics = cr.cr_diags;
+    fdg_scc_count = cr.cr_scc_count;
+    fdg_largest_scc = cr.cr_largest_scc;
+    wavefront_width = cr.cr_wavefront;
+    par = None;
+    frontend = None;
+  }
+
+let cached_of_run (r : run) : cached_run =
+  {
+    cr_results = r.results;
+    cr_lines = r.lines;
+    cr_n_functions = r.n_functions;
+    cr_n_constraints = r.n_constraints;
+    cr_stats = Analysis.sanitize_stats r.solver_stats;
+    cr_diags = r.diagnostics;
+    cr_scc_count = r.fdg_scc_count;
+    cr_largest_scc = r.fdg_largest_scc;
+    cr_wavefront = r.wavefront_width;
+  }
+
+(* the whole-run cache key over the units' content digests: shared by
+   both frontends, whose runs are byte-identical *)
+let run_key ~optfp (digests : string list) =
+  Digest.string (optfp ^ String.concat "" digests)
+
+(* ------------------------------------------------------------------ *)
+(* Concat frontend (the parity oracle)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebind a concatenated-program diagnostic to its unit: the unit whose
+   line range contains the span start, with lines shifted to be
+   unit-local. Diagnostics that land in no unit (impossible in practice:
+   separator lines hold only a comment) pass through untouched. *)
+let remap_concat_diag (spans : span list) (d : Cfront.Diag.t) :
+    Cfront.Diag.t =
+  let l = d.Cfront.Diag.d_span.Cfront.Diag.sl in
+  match
+    List.find_opt (fun (s, e, _, _) -> l >= s && l <= e) spans
+  with
+  | Some (s, _, name, _) ->
+      let sp = d.Cfront.Diag.d_span in
+      Cfront.Diag.with_unit
+        ~span:
+          {
+            sp with
+            Cfront.Diag.sl = sp.Cfront.Diag.sl - s + 1;
+            el = sp.Cfront.Diag.el - s + 1;
+          }
+        name d
+  | None -> d
+
+(* Normalize the concat parse's diagnostic order to the per-unit order:
+   unit-major, lexical diagnostics before parse diagnostics within a
+   unit. (The megastring parse reports every unit's lexical errors
+   before any unit's parse errors; the per-unit frontend finishes each
+   unit before starting the next.) The sort is stable, so within one
+   (unit, phase) bucket the source order is preserved. *)
+let normalize_concat_diags (spans : span list) (diags : Cfront.Diag.t list) :
+    Cfront.Diag.t list =
+  let unit_index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i (_, _, name, _) -> Hashtbl.replace tbl name i) spans;
+    fun d ->
+      match d.Cfront.Diag.d_unit with
+      | Some u -> ( match Hashtbl.find_opt tbl u with Some i -> i | None -> 0)
+      | None -> 0
+  in
+  let phase d =
+    (* E01xx lexical, anything else (E02xx parse, E0299 note) after *)
+    if String.length d.Cfront.Diag.d_code >= 3
+       && String.sub d.Cfront.Diag.d_code 0 3 = "E01"
+    then 0
+    else 1
+  in
+  List.stable_sort
+    (fun a b -> compare (unit_index a, phase a) (unit_index b, phase b))
+    diags
+
+(* multi-unit parity with the per-unit frontend: report unit-local
+   positions and per-unit diagnostic order *)
+let localize_concat ~(spans : span list) (pr : Cfront.Cparse.presult) =
+  match spans with
+  | [] | [ _ ] -> pr
+  | _ ->
+      {
+        pr with
+        Cfront.Cparse.pr_diags =
+          normalize_concat_diags spans
+            (List.map (remap_concat_diag spans) pr.Cfront.Cparse.pr_diags);
+      }
+
+(* resolve a concatenated-program line to its (unit, local line) pair —
+   the concat frontend's position anchor, mirrored by the per-unit
+   frontend's unit table so both produce identical position keys *)
+let locate_of_spans (spans : span list) _fname line =
+  match List.find_opt (fun (s, e, _, _) -> line >= s && line <= e) spans with
+  | Some (s, _, name, _) -> (name, line - s + 1)
+  | None -> ("", line)
+
+(* One mode over an already-concatenated program [src] whose units are
+   described by [spans]. The cold path is the pre-cache pipeline verbatim;
+   the cached path layers three tiers over it — whole-run, parsed AST, and
+   per-SCC schemes (inside {!Analysis.run}) — each of which degrades to
+   the tier below on any miss or rejection, so every fault converges to
+   the cold result. *)
+let run_concat ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
+    ?compact ?budget ?jobs ?max_errors ?cache ?lines ~(spans : span list)
+    (src : string) : run =
+  let lines = match lines with Some n -> n | None -> Cfront.Cprog.count_lines src in
+  let localize = localize_concat ~spans in
+  let locate = locate_of_spans spans in
+  let finish ?cache co =
+    finish ?rules ?field_sharing ?simplify ?compact ?budget ?jobs ?cache
+      ~locate mode co
+  in
+  let compiled pr prog t_compile =
+    {
+      co_prog = prog;
+      co_diags = pr.Cfront.Cparse.pr_diags;
+      co_degraded = pr.Cfront.Cparse.pr_degraded;
+      co_lines = lines;
+      co_t_compile = t_compile;
+      co_frontend = None;
+    }
+  in
+  let cold_run ?cache () =
+    let (pr, prog), t_compile =
+      time (fun () ->
+          let pr =
+            localize (Cfront.Cparse.parse_program_partial ?max_errors src)
+          in
+          (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+    in
+    finish ?cache (compiled pr prog t_compile)
+  in
+  (* budgeted runs are load-dependent, not reproducible artifacts: never
+     cached, never served from cache *)
+  let cache = match budget with Some _ -> None | None -> cache in
+  match cache with
+  | None -> cold_run ()
+  | Some cs -> (
+      let t0 = Unix.gettimeofday () in
+      let optfp =
+        opt_fingerprint ~opts_id:cs.cs_opts_id ~mode ~field_sharing ~simplify
+          ~compact ~max_errors
+      in
+      let run_key = run_key ~optfp (List.map (fun (_, _, _, d) -> d) spans) in
+      match
+        (load_marshal cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
+          : cached_run option)
+      with
+      | Some cr -> run_of_cached cr ~t_lookup:(Unix.gettimeofday () -. t0)
+      | None ->
+          let ast_key =
+            Digest.string
+              (Printf.sprintf "ast\000%s\000%s"
+                 (match max_errors with
+                 | Some n -> string_of_int n
+                 | None -> "-")
+                 src)
+          in
+          let (pr, prog), t_compile =
+            time (fun () ->
+                let pr =
+                  match
+                    (load_marshal cs.cs_cache ~kind:"ast" ~key:ast_key
+                       ~deps:[]
+                      : Cfront.Cparse.presult option)
+                  with
+                  | Some pr -> pr
+                  | None ->
+                      let pr =
+                        localize
+                          (Cfront.Cparse.parse_program_partial ?max_errors
+                             src)
+                      in
+                      Cache.store cs.cs_cache ~kind:"ast" ~key:ast_key
+                        ~deps:[]
+                        (Marshal.to_string pr []);
+                      pr
+                in
+                (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+          in
+          let unit_of =
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun (f : Cfront.Cast.fundef) ->
+                List.iter
+                  (fun (s, e, _, d) ->
+                    if
+                      f.Cfront.Cast.f_line >= s
+                      && f.Cfront.Cast.f_line <= e
+                      && not (Hashtbl.mem tbl f.Cfront.Cast.f_name)
+                    then Hashtbl.replace tbl f.Cfront.Cast.f_name d)
+                  spans)
+              (Cfront.Cprog.functions prog);
+            fun name -> Hashtbl.find_opt tbl name
+          in
+          let actx =
+            {
+              Analysis.cc_cache = Some cs.cs_cache;
+              cc_memo = None;
+              cc_key_prefix = env_fingerprint prog ^ optfp;
+              cc_unit_of = unit_of;
+            }
+          in
+          let run =
+            finish ~cache:actx (compiled pr prog t_compile)
+          in
+          Cache.store cs.cs_cache ~kind:"run" ~key:run_key ~deps:[]
+            (Marshal.to_string (cached_of_run run) []);
+          run)
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit frontend                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the per-unit AST cache payload: the speculative (environment-free)
+   parse of one unit, reusable under any link order. Reparses triggered
+   by the link environment are never cached — they depend on it. *)
+type cached_unit = { cu_res : Cfront.Cparse.uresult }
+
+let unit_key ~max_errors ~digest =
+  Digest.string (Printf.sprintf "unit\000%d\000%s" max_errors digest)
+
+(* one unit's frontend product, pre-link *)
+type unit_fe = {
+  uf_name : string;
+  uf_src : string;
+  uf_digest : string;
+  uf_res : Cfront.Cparse.uresult;
+  uf_prog : Cfront.Cprog.t;  (* build of the speculative parse *)
+}
+
+(** The per-unit frontend alone: speculative parallel lex+parse+build per
+    translation unit, then a deterministic serial link that replays the
+    cross-unit parser environment in file order and re-parses the rare
+    unit whose speculative result it could have influenced. Returns the
+    compiled program plus the function-name -> (defining unit, unit
+    digest) table: the digest keys the per-SCC cache tier, the unit name
+    anchors the report's stable position keys. [fe_memo] is the
+    persistent session's in-memory AST tier (unit digest -> speculative
+    parse), probed before the disk tier and fed by fresh parses. *)
+let compile_units ?cache ?fe_memo ~jobs ~me (files : (string * string) list)
+    : compiled * (string, string * string) Hashtbl.t =
+  let lines =
+    List.fold_left
+      (fun acc (_, src) -> acc + Cfront.Cprog.count_lines src)
+      0 files
+  in
+  let multi = match files with [] | [ _ ] -> false | _ -> true in
+  let t0 = Unix.gettimeofday () in
+  let files_a = Array.of_list files in
+  let digests_a =
+    Array.map (fun (name, src) -> unit_digest name src) files_a
+  in
+  let n = Array.length files_a in
+      (* --- per-unit AST memo + cache probes (serial: neither the memo
+         table nor cache handles are domain-safe) --- *)
+      let probed : Cfront.Cparse.uresult option array = Array.make n None in
+      (match fe_memo with
+      | None -> ()
+      | Some m ->
+          Array.iteri
+            (fun i _ ->
+              match Hashtbl.find_opt m digests_a.(i) with
+              | Some res -> probed.(i) <- Some res
+              | None -> ())
+            files_a);
+      (match cache with
+      | None -> ()
+      | Some cs ->
+          Array.iteri
+            (fun i _ ->
+              if probed.(i) = None then
+                match
+                  (load_marshal cs.cs_cache ~kind:"unit"
+                     ~key:(unit_key ~max_errors:me ~digest:digests_a.(i))
+                     ~deps:[]
+                    : cached_unit option)
+                with
+                | Some cu -> probed.(i) <- Some cu.cu_res
+                | None -> ())
+            files_a);
+      (* --- speculative lex+parse+build, one task per unit --- *)
+      let slots : unit_fe option array = Array.make n None in
+      let tmu = Mutex.create () in
+      let lex_s = ref 0. and parse_s = ref 0. and build_s = ref 0. in
+      let add cell dt =
+        Mutex.lock tmu;
+        cell := !cell +. dt;
+        Mutex.unlock tmu
+      in
+      Typequal.Pool.with_pool ~jobs (fun pool ->
+          Array.iteri
+            (fun i (name, src) ->
+              Typequal.Pool.submit pool (fun () ->
+                  let res =
+                    match probed.(i) with
+                    | Some res -> res
+                    | None ->
+                        let (tb, lex_diags), t_lex =
+                          time (fun () ->
+                              Cfront.Clexer.tokenize_buf ~max_errors:me src)
+                        in
+                        add lex_s t_lex;
+                        let res, t_parse =
+                          time (fun () ->
+                              Cfront.Cparse.parse_unit ~max_errors:me tb
+                                ~lex_diags)
+                        in
+                        add parse_s t_parse;
+                        res
+                  in
+                  let prog, t_build =
+                    time (fun () ->
+                        Cfront.Cprog.build
+                          res.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_prog)
+                  in
+                  add build_s t_build;
+                  slots.(i) <-
+                    Some
+                      {
+                        uf_name = name;
+                        uf_src = src;
+                        uf_digest = digests_a.(i);
+                        uf_res = res;
+                        uf_prog = prog;
+                      }))
+            files_a;
+          Typequal.Pool.wait pool);
+      (* --- persist fresh speculative parses (memo and disk) --- *)
+      Array.iteri
+        (fun i uf ->
+          match (probed.(i), uf) with
+          | None, Some uf ->
+              (match fe_memo with
+              | Some m -> Hashtbl.replace m digests_a.(i) uf.uf_res
+              | None -> ());
+              (match cache with
+              | Some cs ->
+                  Cache.store cs.cs_cache ~kind:"unit"
+                    ~key:(unit_key ~max_errors:me ~digest:digests_a.(i))
+                    ~deps:[]
+                    (Marshal.to_string { cu_res = uf.uf_res } [])
+              | None -> ())
+          | _ -> ())
+        slots;
+      (* --- serial link: validate each speculative parse against the
+         accumulated environment, re-parse when it could have been
+         influenced, thread the diagnostic budget, merge in file order --- *)
+      let link_t0 = Unix.gettimeofday () in
+      let env_typedefs : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+      let env_enums : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let env_anon = ref 0 in
+      let consumed = ref 0 in
+      let capped = ref false in
+      let reparsed = ref 0 in
+      let progs = ref [] in
+      let diags = ref [] in
+      let degraded = ref [] in
+      let unit_of_tbl : (string, string * string) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      Array.iter
+        (fun uf ->
+          let uf = Option.get uf in
+          if not !capped then
+            if !consumed >= me then begin
+              (* the budget ran out exactly at a unit boundary: a
+                 whole-program parse would give up at this unit's first
+                 token *)
+              capped := true;
+              let d =
+                Cfront.Diag.note ~code:"E0299"
+                  uf.uf_res.Cfront.Cparse.ur_first_span
+                  (Printf.sprintf
+                     "too many errors (%d); giving up on the rest of the \
+                      file"
+                     me)
+              in
+              let d =
+                if multi then Cfront.Diag.with_unit uf.uf_name d else d
+              in
+              diags := d :: !diags
+            end
+            else begin
+              let spec = uf.uf_res in
+              let k =
+                List.length spec.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_diags
+              in
+              let mention_hit =
+                (Hashtbl.length env_typedefs > 0
+                || Hashtbl.length env_enums > 0)
+                && List.exists
+                     (fun id ->
+                       Hashtbl.mem env_typedefs id
+                       || Hashtbl.mem env_enums id)
+                     spec.Cfront.Cparse.ur_idents
+              in
+              let anon_hit =
+                !env_anon > 0 && spec.Cfront.Cparse.ur_anon > 0
+              in
+              let budget_hit = !consumed > 0 && k > 0 && !consumed + k >= me in
+              let res, prog =
+                if not (mention_hit || anon_hit || budget_hit) then
+                  (spec, uf.uf_prog)
+                else begin
+                  incr reparsed;
+                  let seed =
+                    {
+                      Cfront.Cparse.us_typedefs =
+                        Hashtbl.fold
+                          (fun k () acc -> k :: acc)
+                          env_typedefs [];
+                      us_enums =
+                        Hashtbl.fold
+                          (fun k v acc -> (k, v) :: acc)
+                          env_enums [];
+                      us_anon = !env_anon;
+                      us_count_base = !consumed;
+                    }
+                  in
+                  let tb, lex_diags =
+                    Cfront.Clexer.tokenize_buf ~max_errors:(me - !consumed)
+                      uf.uf_src
+                  in
+                  let res =
+                    Cfront.Cparse.parse_unit ~max_errors:me ~seed tb
+                      ~lex_diags
+                  in
+                  ( res,
+                    Cfront.Cprog.build
+                      res.Cfront.Cparse.ur_pr.Cfront.Cparse.pr_prog )
+                end
+              in
+              let pr = res.Cfront.Cparse.ur_pr in
+              consumed := !consumed + List.length pr.Cfront.Cparse.pr_diags;
+              if res.Cfront.Cparse.ur_capped then capped := true;
+              List.iter
+                (fun name -> Hashtbl.replace env_typedefs name ())
+                res.Cfront.Cparse.ur_typedefs;
+              List.iter
+                (fun (name, v) -> Hashtbl.replace env_enums name v)
+                res.Cfront.Cparse.ur_enums;
+              env_anon := !env_anon + res.Cfront.Cparse.ur_anon;
+              progs := prog :: !progs;
+              List.iter
+                (fun d ->
+                  let d =
+                    if multi then Cfront.Diag.with_unit uf.uf_name d else d
+                  in
+                  diags := d :: !diags)
+                pr.Cfront.Cparse.pr_diags;
+              List.iter
+                (fun dg -> degraded := dg :: !degraded)
+                pr.Cfront.Cparse.pr_degraded;
+              List.iter
+                (fun (f : Cfront.Cast.fundef) ->
+                  if not (Hashtbl.mem unit_of_tbl f.Cfront.Cast.f_name) then
+                    Hashtbl.replace unit_of_tbl f.Cfront.Cast.f_name
+                      (uf.uf_name, uf.uf_digest))
+                (Cfront.Cprog.functions prog)
+            end)
+        slots;
+      let prog = Cfront.Cprog.merge (List.rev !progs) in
+      let link_s = Unix.gettimeofday () -. link_t0 in
+      let t_compile = Unix.gettimeofday () -. t0 in
+      let fe =
+        {
+          fs_units = n;
+          fs_reparsed = !reparsed;
+          fs_lex_s = !lex_s;
+          fs_parse_s = !parse_s;
+          fs_build_s = !build_s;
+          fs_link_s = link_s;
+        }
+      in
+      let co =
+        {
+          co_prog = prog;
+          co_diags = List.rev !diags;
+          co_degraded = List.rev !degraded;
+          co_lines = lines;
+          co_t_compile = t_compile;
+          co_frontend = Some fe;
+        }
+      in
+      (co, unit_of_tbl)
+
+(* the per-unit frontend's position anchor: a function's lines are
+   already unit-local, so only the unit name needs resolving *)
+let locate_of_tbl (tbl : (string, string * string) Hashtbl.t) fname line =
+  match Hashtbl.find_opt tbl fname with
+  | Some (u, _) -> (u, line)
+  | None -> ("", line)
+
+(** One mode over the per-unit pipeline, with the whole-run and per-unit
+    AST cache tiers layered over {!compile_units}. *)
+let run_units ?(mode = Analysis.Mono) ?rules ?field_sharing ?simplify
+    ?compact ?budget ?(jobs = 1) ?max_errors ?cache
+    (files : (string * string) list) : run =
+  let me = Option.value max_errors ~default:20 in
+  (* budgeted runs are never cached (see run_concat) *)
+  let cache = match budget with Some _ -> None | None -> cache in
+  let t0 = Unix.gettimeofday () in
+  let digests = List.map (fun (n, s) -> unit_digest n s) files in
+  let optfp =
+    match cache with
+    | None -> ""
+    | Some cs ->
+        opt_fingerprint ~opts_id:cs.cs_opts_id ~mode ~field_sharing ~simplify
+          ~compact ~max_errors
+  in
+  let rkey = run_key ~optfp digests in
+  let run_hit =
+    match cache with
+    | None -> None
+    | Some cs ->
+        (load_marshal cs.cs_cache ~kind:"run" ~key:rkey ~deps:[]
+          : cached_run option)
+  in
+  match run_hit with
+  | Some cr -> run_of_cached cr ~t_lookup:(Unix.gettimeofday () -. t0)
+  | None ->
+      let co, unit_of_tbl = compile_units ?cache ~jobs ~me files in
+      let actx =
+        match cache with
+        | None -> None
+        | Some cs ->
+            Some
+              {
+                Analysis.cc_cache = Some cs.cs_cache;
+                cc_memo = None;
+                cc_key_prefix = env_fingerprint co.co_prog ^ optfp;
+                cc_unit_of =
+                  (fun name ->
+                    Option.map snd (Hashtbl.find_opt unit_of_tbl name));
+              }
+      in
+      let run =
+        finish ?rules ?field_sharing ?simplify ?compact ?budget ~jobs
+          ?cache:actx ~locate:(locate_of_tbl unit_of_tbl) mode co
+      in
+      (match cache with
+      | None -> ()
+      | Some cs ->
+          Cache.store cs.cs_cache ~kind:"run" ~key:rkey ~deps:[]
+            (Marshal.to_string (cached_of_run run) []));
+      run
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Run one mode on C source, recovering from lexer/parser errors: globals
+    that fail to parse are dropped (with a diagnostic), function bodies
+    that fail are demoted to prototypes and reported as degraded outcomes.
+    Raises only for faults that leave nothing to analyze (e.g.
+    [Cfront.Cprog.Frontend_error] from table construction). *)
+let run_source ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?max_errors ?cache ?(unit = "<input>") (src : string) : run =
+  run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget ?jobs
+    ?max_errors ?cache
+    ~spans:[ (1, max_int, unit, unit_digest unit src) ]
+    src
+
+(** Multi-file projects, concatenated (the parity oracle): the
+    translation units are analyzed as one program, as a 1990s
+    whole-program analysis would see them after preprocessing. File
+    boundaries are kept as comments for span accounting — and, when
+    caching, as the unit spans that key per-file invalidation. *)
+let concat_sources_spans (files : (string * string) list) :
+    string * span list =
+  let b = Buffer.create 65536 in
+  let line = ref 1 in
+  let spans = ref [] in
+  List.iter
+    (fun (name, src) ->
+      Buffer.add_string b (Printf.sprintf "/* === %s === */\n" name);
+      incr line;
+      let start = !line in
+      Buffer.add_string b src;
+      let nl =
+        String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 src
+      in
+      let add_nl =
+        String.length src > 0 && src.[String.length src - 1] <> '\n'
+      in
+      if add_nl then Buffer.add_char b '\n';
+      line := !line + nl + (if add_nl then 1 else 0);
+      spans := (start, !line - 1, name, unit_digest name src) :: !spans)
+    files;
+  (Buffer.contents b, List.rev !spans)
+
+let concat_sources files = fst (concat_sources_spans files)
+
+(** Multi-file projects: each translation unit is lexed and parsed
+    independently (per-unit frontend, the default), or the units are
+    concatenated and parsed as one megastring ({!Concat}, the legacy
+    oracle). Reports, diagnostics, and solver counters are byte-identical
+    either way; only speed, memory, and cache granularity differ. *)
+let run_sources ?(frontend = Per_unit) ?mode ?rules ?field_sharing ?simplify
+    ?compact ?budget ?jobs ?max_errors ?cache
+    (files : (string * string) list) : run =
+  match frontend with
+  | Per_unit ->
+      run_units ?mode ?rules ?field_sharing ?simplify ?compact ?budget
+        ?jobs ?max_errors ?cache files
+  | Concat ->
+      let src, spans = concat_sources_spans files in
+      let lines =
+        List.fold_left
+          (fun acc (_, s) -> acc + Cfront.Cprog.count_lines s)
+          0 files
+      in
+      run_concat ?mode ?rules ?field_sharing ?simplify ?compact ?budget
+        ?jobs ?max_errors ?cache ~lines ~spans src
+
+(** The frontend alone — parse and link a multi-file project without
+    analyzing it. What the bench harness times and heap-profiles when it
+    compares the two frontends' compile phases. *)
+let compile_sources ?(frontend = Per_unit) ?(jobs = 1) ?max_errors
+    (files : (string * string) list) : compiled =
+  let me = Option.value max_errors ~default:20 in
+  match frontend with
+  | Per_unit -> fst (compile_units ~jobs ~me files)
+  | Concat ->
+      let src, spans = concat_sources_spans files in
+      let lines =
+        List.fold_left
+          (fun acc (_, s) -> acc + Cfront.Cprog.count_lines s)
+          0 files
+      in
+      let (pr, prog), t_compile =
+        time (fun () ->
+            let pr =
+              localize_concat ~spans
+                (Cfront.Cparse.parse_program_partial ~max_errors:me src)
+            in
+            (pr, Cfront.Cprog.build pr.Cfront.Cparse.pr_prog))
+      in
+      {
+        co_prog = prog;
+        co_diags = pr.Cfront.Cparse.pr_diags;
+        co_degraded = pr.Cfront.Cparse.pr_degraded;
+        co_lines = lines;
+        co_t_compile = t_compile;
+        co_frontend = None;
+      }
+
+(** Run both modes, reusing the parse: one row of Table 2. *)
+type row = {
+  name : string;
+  r_lines : int;
+  compile_s : float;
+  mono_s : float;
+  poly_s : float;
+  declared : int;
+  mono : int;
+  poly : int;
+  total : int;
+  mono_results : Report.results;
+  poly_results : Report.results;
+}
+
+let table2_row ~name (src : string) : row =
+  let prog, t_compile = time (fun () -> compile src) in
+  let _, mono_results, mono_s = analyze Analysis.Mono prog in
+  let _, poly_results, poly_s = analyze Analysis.Poly prog in
+  {
+    name;
+    r_lines = Cfront.Cprog.count_lines src;
+    compile_s = t_compile;
+    mono_s;
+    poly_s;
+    declared = mono_results.Report.declared;
+    mono = mono_results.Report.possible;
+    poly = poly_results.Report.possible;
+    total = mono_results.Report.total;
+    mono_results;
+    poly_results;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The persistent session                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Solver = Typequal.Solver
+module Lat = Typequal.Lattice
+
+(* one mode's warm artifacts: the solved store with its live interfaces
+   and the stable-key index into it *)
+type mode_state = {
+  ms_run : run;
+  ms_env : Analysis.env;
+  ms_ifaces : (string * Qtypes.fsig) list;
+  ms_index :
+    (string, Report.position * Report.verdict * Solver.var) Hashtbl.t;
+}
+
+type t = {
+  s_rules : Analysis.qrules;
+  s_default_mode : Analysis.mode;
+  s_field_sharing : bool option;
+  s_simplify : bool option;
+  s_compact : bool option;
+  s_max_errors : int option;
+  s_jobs : int;
+  s_opts_id : string;
+  s_cache : cache_spec option;
+  (* warm tiers that survive invalidation: both are keyed by content
+     digests, so a stale entry can never be served — an edit simply
+     stops hitting it *)
+  s_fe_memo : (string, Cfront.Cparse.uresult) Hashtbl.t;
+  s_scc_memo : Analysis.scc_memo;
+  mutable s_units : (string * string) list;  (* (name, source), in order *)
+  (* stages derived from the unit table; dropped on any unit edit *)
+  mutable s_compiled :
+    (compiled * (string, string * string) Hashtbl.t) option;
+  s_modes : (string, mode_state) Hashtbl.t;
+}
+
+let create ?rules ?(mode = Analysis.Poly) ?field_sharing ?simplify ?compact
+    ?max_errors ?(jobs = 1) ?cache ?(opts_id = "session")
+    (units : (string * string) list) : t =
+  {
+    s_rules = Option.value rules ~default:Analysis.const_rules;
+    s_default_mode = mode;
+    s_field_sharing = field_sharing;
+    s_simplify = simplify;
+    s_compact = compact;
+    s_max_errors = max_errors;
+    s_jobs = jobs;
+    s_opts_id =
+      (match cache with Some cs -> cs.cs_opts_id | None -> opts_id);
+    s_cache = cache;
+    s_fe_memo = Hashtbl.create 64;
+    s_scc_memo = Analysis.create_memo ();
+    s_units = units;
+    s_compiled = None;
+    s_modes = Hashtbl.create 4;
+  }
+
+let units t = List.map fst t.s_units
+let default_mode t = t.s_default_mode
+
+(* Drop the derived stages. The AST and scheme memos are kept: they are
+   content-addressed, so after the next compile the clean cone replays
+   from them and only the dirtied cone recomputes. *)
+let invalidate t =
+  t.s_compiled <- None;
+  Hashtbl.reset t.s_modes
+
+let update_unit t name src : [ `Added | `Updated | `Unchanged ] =
+  let digest = unit_digest name src in
+  let status = ref `Added in
+  let rec go = function
+    | [] -> [ (name, src) ]
+    | (n, s) :: rest when n = name ->
+        if unit_digest n s = digest then begin
+          status := `Unchanged;
+          (n, s) :: rest
+        end
+        else begin
+          status := `Updated;
+          (name, src) :: rest
+        end
+    | u :: rest -> u :: go rest
+  in
+  let units = go t.s_units in
+  if !status <> `Unchanged then begin
+    t.s_units <- units;
+    invalidate t
+  end;
+  !status
+
+let remove_unit t name : bool =
+  let found = List.mem_assoc name t.s_units in
+  if found then begin
+    t.s_units <- List.remove_assoc name t.s_units;
+    invalidate t
+  end;
+  found
+
+let ensure_compiled t =
+  match t.s_compiled with
+  | Some c -> c
+  | None ->
+      if t.s_units = [] then raise (Error "session has no units");
+      let me = Option.value t.s_max_errors ~default:20 in
+      let c =
+        compile_units ?cache:t.s_cache ~fe_memo:t.s_fe_memo ~jobs:t.s_jobs
+          ~me t.s_units
+      in
+      t.s_compiled <- Some c;
+      c
+
+let ensure_mode t mode : mode_state =
+  let key = mode_name mode in
+  match Hashtbl.find_opt t.s_modes key with
+  | Some ms -> ms
+  | None ->
+      let co, tbl = ensure_compiled t in
+      let optfp =
+        opt_fingerprint ~opts_id:t.s_opts_id ~mode
+          ~field_sharing:t.s_field_sharing ~simplify:t.s_simplify
+          ~compact:t.s_compact ~max_errors:t.s_max_errors
+      in
+      let actx =
+        {
+          Analysis.cc_cache =
+            Option.map (fun cs -> cs.cs_cache) t.s_cache;
+          cc_memo = Some t.s_scc_memo;
+          cc_key_prefix = env_fingerprint co.co_prog ^ optfp;
+          cc_unit_of =
+            (fun name -> Option.map snd (Hashtbl.find_opt tbl name));
+        }
+      in
+      let run, env, ifaces, index =
+        finish_full ~rules:t.s_rules ?field_sharing:t.s_field_sharing
+          ?simplify:t.s_simplify ?compact:t.s_compact ~jobs:t.s_jobs
+          ~cache:actx ~locate:(locate_of_tbl tbl) mode co
+      in
+      let ms = { ms_run = run; ms_env = env; ms_ifaces = ifaces; ms_index = index } in
+      Hashtbl.replace t.s_modes key ms;
+      ms
+
+let mode_of t = function Some m -> m | None -> t.s_default_mode
+
+(** Run one mode over the session's current units — warm: clean units
+    replay from the AST memo, clean SCCs from the scheme memo, and a
+    repeat of an already-computed mode returns its state untouched. *)
+let run ?mode t : run = (ensure_mode t (mode_of t mode)).ms_run
+
+let diagnostics t : Cfront.Diag.t list = (fst (ensure_compiled t)).co_diags
+
+(* the session's positions in report order, each with its canonical key
+   and live solver variable *)
+let indexed_positions (ms : mode_state) :
+    (string * Report.position * Report.verdict * Solver.var) list =
+  List.filter_map
+    (fun ((p : Report.position), v) ->
+      let k = Report.position_key p in
+      match Hashtbl.find_opt ms.ms_index k with
+      | Some (_, _, var) -> Some (k, p, v, var)
+      | None -> None)
+    ms.ms_run.results.Report.positions
+
+(** Every interesting position with its canonical key and verdict. *)
+let positions ?mode t :
+    (string * Report.position * Report.verdict) list =
+  let ms = ensure_mode t (mode_of t mode) in
+  List.map (fun (k, p, v, _) -> (k, p, v)) (indexed_positions ms)
+
+(** Answer "is this position must-const?" (or must-[qual]) by stable
+    key — [unit:line:col@level] or the structural
+    [unit:fun:pN@level] / [unit:fun:ret@level] alias. *)
+let classify ?mode t key : (Report.position * Report.verdict) option =
+  let ms = ensure_mode t (mode_of t mode) in
+  Option.map
+    (fun (p, v, _) -> (p, v))
+    (Hashtbl.find_opt ms.ms_index key)
+
+(** Explain why a position's qualifier variable is forced: the solver's
+    violation/forcing path, or [None] when nothing binds it (its bounds
+    are consistent). Unknown keys return [Error]. *)
+let explain ?mode t key :
+    (Report.position * Report.verdict * string option, string) result =
+  let ms = ensure_mode t (mode_of t mode) in
+  match Hashtbl.find_opt ms.ms_index key with
+  | None -> Result.Error (Printf.sprintf "unknown position key %S" key)
+  | Some (p, v, var) ->
+      Ok (p, v, Solver.explain_var ms.ms_env.Analysis.store var)
+
+(* ---- speculative queries (what-if) ---- *)
+
+type whatif_change = {
+  wc_key : string;
+  wc_fun : string;
+  wc_before : Report.verdict;
+  wc_after : Report.verdict;
+}
+
+type whatif_result = {
+  w_key : string;  (** the annotated position *)
+  w_qual : string;  (** the qualifier speculatively added *)
+  w_changed : whatif_change list;  (** positions whose verdict moved *)
+  w_errors_before : int;
+  w_errors_after : int;
+}
+
+let verdict_of_solver = function
+  | Solver.Forced_up -> Report.Must_const
+  | Solver.Forced_down -> Report.Must_not_const
+  | Solver.Free -> Report.Either
+
+(** "What breaks if I add [$qual] here?" — split into a serial prepare
+    step and a pure evaluation thunk. The prepare step snapshots the
+    warm store ({!Solver.export}) and the baseline verdicts; it must run
+    with exclusive access to the session (the daemon does this on its
+    event loop). The returned thunk clones the snapshot into a private
+    store, adds the speculative annotation as a lower bound, re-solves
+    incrementally, and diffs every position's verdict — it touches no
+    session state, so any number of thunks may run concurrently on the
+    domain pool. *)
+let whatif_task ?mode t ~qual key :
+    ((unit -> whatif_result), string) result =
+  let ms = ensure_mode t (mode_of t mode) in
+  let store = ms.ms_env.Analysis.store in
+  let sp = Solver.space store in
+  match Hashtbl.find_opt ms.ms_index key with
+  | None -> Result.Error (Printf.sprintf "unknown position key %S" key)
+  | Some (_, _, var0) -> (
+      match Lat.Space.find_opt sp qual with
+      | None -> Result.Error (Printf.sprintf "unknown qualifier %S" qual)
+      | Some _ ->
+          let batch = Solver.export store in
+          let snapshot =
+            List.map
+              (fun (k, (p : Report.position), _, var) ->
+                ( k,
+                  p.Report.p_fun,
+                  verdict_of_solver (Solver.classify_name store var qual),
+                  var ))
+              (indexed_positions ms)
+          in
+          let errors_before = List.length (Solver.last_errors store) in
+          Ok
+            (fun () ->
+              let clone = Solver.create sp in
+              let rename = Solver.absorb clone batch in
+              let tr v = Option.value (rename v) ~default:v in
+              Solver.add_leq_cv
+                ~reason:(Printf.sprintf "whatif $%s at %s" qual key)
+                ~mask:(Lat.Elt.mask_of_names sp [ qual ])
+                clone
+                (Lat.Elt.of_names_up sp [ qual ])
+                (tr var0);
+              ignore (Solver.solve clone : (unit, _) result);
+              let changed =
+                List.filter_map
+                  (fun (k, fname, before, var) ->
+                    let after =
+                      verdict_of_solver
+                        (Solver.classify_name clone (tr var) qual)
+                    in
+                    if after = before then None
+                    else
+                      Some
+                        {
+                          wc_key = k;
+                          wc_fun = fname;
+                          wc_before = before;
+                          wc_after = after;
+                        })
+                  snapshot
+              in
+              {
+                w_key = key;
+                w_qual = qual;
+                w_changed = changed;
+                w_errors_before = errors_before;
+                w_errors_after = List.length (Solver.last_errors clone);
+              }))
+
+(** {!whatif_task} prepared and evaluated inline. *)
+let whatif ?mode t ~qual key : (whatif_result, string) result =
+  Result.map (fun f -> f ()) (whatif_task ?mode t ~qual key)
+
+(* ---- session statistics ---- *)
+
+type session_stats = {
+  ss_units : int;
+  ss_modes : string list;  (** warm (already analyzed) modes *)
+  ss_memo_hits : int;  (** per-SCC scheme memo *)
+  ss_memo_misses : int;
+  ss_cache : Typequal.Cache.stats option;  (** disk tiers, when attached *)
+}
+
+let stats t : session_stats =
+  let hits, misses = Analysis.memo_counts t.s_scc_memo in
+  {
+    ss_units = List.length t.s_units;
+    ss_modes = List.of_seq (Hashtbl.to_seq_keys t.s_modes);
+    ss_memo_hits = hits;
+    ss_memo_misses = misses;
+    ss_cache =
+      Option.map (fun cs -> Typequal.Cache.stats cs.cs_cache) t.s_cache;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the batch CLIs' report block, shared with the daemon)    *)
+(* ------------------------------------------------------------------ *)
+
+let pp_mode_long ppf = function
+  | Analysis.Mono -> Fmt.string ppf "monomorphic"
+  | Analysis.Poly -> Fmt.string ppf "polymorphic"
+  | Analysis.Polyrec -> Fmt.string ppf "polymorphic-recursive"
+
+(** The per-run report exactly as [cqualc] prints it (stdout block only;
+    diagnostics go to stderr and stay in the CLI). The daemon's [render]
+    method returns this same text, which is what the CI smoke job diffs
+    against a cold [cqualc] run. *)
+let render_run ?(stats = false) ?(positions = false) ?(jobs = 1) ~name mode
+    (r : run) : string =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let res = r.results in
+  pr "=== %s (%s) ===\n" name (Fmt.str "%a" pp_mode_long mode);
+  let degraded =
+    List.filter_map
+      (fun (f, o) ->
+        match o with
+        | Analysis.Degraded reason -> Some (f, reason)
+        | Analysis.Analyzed -> None)
+      res.Report.outcomes
+  in
+  let n_analyzed = List.length res.Report.outcomes - List.length degraded in
+  pr
+    "lines: %d, functions: %d (%d analyzed, %d degraded), qualifier \
+     variables: %d\n"
+    r.lines
+    (List.length res.Report.outcomes)
+    n_analyzed (List.length degraded) r.n_constraints;
+  List.iter (fun (f, reason) -> pr "degraded: %s: %s\n" f reason) degraded;
+  if stats then begin
+    pr "solver: %s\n" (Fmt.str "%a" Typequal.Solver.pp_stats r.solver_stats);
+    pr "fdg: %d sccs, largest %d, wavefront width %d\n" r.fdg_scc_count
+      r.fdg_largest_scc r.wavefront_width;
+    (match r.frontend with
+    | Some fs ->
+        pr
+          "frontend: %d units, %d reparsed, lex %.3fs, parse %.3fs, build \
+           %.3fs, link %.3fs\n"
+          fs.fs_units fs.fs_reparsed fs.fs_lex_s fs.fs_parse_s fs.fs_build_s
+          fs.fs_link_s
+    | None -> ());
+    (match oversubscription ~jobs with
+    | Some cores ->
+        pr "oversubscribed: %d jobs on %d available cores\n" jobs cores
+    | None -> ());
+    match r.par with
+    | Some p ->
+        pr "parallel: %d jobs, %d tasks, generate %.3fs, merge %.3fs\n"
+          p.Analysis.ps_jobs p.Analysis.ps_tasks p.Analysis.ps_gen_s
+          p.Analysis.ps_merge_s
+    | None -> ()
+  end;
+  pr
+    "interesting const positions: %d total; %d declared, %d possible (%d \
+     must-const, %d could-be-either), %d must-not\n"
+    res.Report.total res.Report.declared res.Report.possible res.Report.must
+    (res.Report.possible - res.Report.must)
+    (res.Report.total - res.Report.possible);
+  if res.Report.type_errors > 0 then
+    pr "TYPE ERRORS: %d (const usage is inconsistent)\n"
+      res.Report.type_errors;
+  List.iter (fun w -> pr "warning: %s\n" w) res.Report.warnings;
+  if positions then
+    List.iter
+      (fun pv -> pr "  %s\n" (Fmt.str "%a" Report.pp_position pv))
+      res.Report.positions;
+  Buffer.contents b
+
+(** Render one mode of the session — the daemon's [render] method. *)
+let render ?mode ?stats ?positions ?(name = "session") t : string =
+  let m = mode_of t mode in
+  render_run ?stats ?positions ~jobs:t.s_jobs ~name m
+    (ensure_mode t m).ms_run

@@ -11,6 +11,7 @@ let () =
       ("parallel", Test_parallel.tests);
       ("frontend", Test_frontend.tests);
       ("cache", Test_cache.tests);
+      ("session", Test_session.tests);
       ("compact", Test_compact.tests);
       ("eval", Test_eval.tests);
       ("flow", Test_flow.tests);
